@@ -1,0 +1,414 @@
+// Package repro's root benchmark harness regenerates every table and
+// figure of the paper (experiments E1–E15) and reports the headline
+// metrics via b.ReportMetric, plus micro-benchmarks of the substrates
+// (corpus generation, CSV codecs, event filtering, distribution fitting,
+// the partition allocator and the scheduler).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/joblog"
+	"repro/internal/machine"
+	"repro/internal/raslog"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// benchDays sizes the shared corpus: 150 days ≈ 26k jobs / 95k events,
+// large enough that every analysis is statistically meaningful and every
+// bench measures realistic work.
+const benchDays = 150
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+	benchErr  error
+)
+
+func sharedEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := sim.DefaultConfig()
+		cfg.Days = benchDays
+		cfg.NumUsers = 300
+		cfg.NumProjects = 120
+		benchEnv, benchErr = experiments.NewEnv(cfg)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnv
+}
+
+// benchExperiment regenerates one paper artifact per iteration and reports
+// selected metrics alongside the timing.
+func benchExperiment(b *testing.B, id string, metricKeys ...string) {
+	env := sharedEnv(b)
+	exp, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var last *experiments.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	for _, k := range metricKeys {
+		if v, ok := last.Metrics[k]; ok {
+			b.ReportMetric(v, k)
+		}
+	}
+}
+
+// One benchmark per table/figure of the evaluation (DESIGN.md §4).
+
+func Benchmark_E1_DatasetSummary(b *testing.B) { benchExperiment(b, "E1", "core_hours_b", "jobs") }
+func Benchmark_E2_Concentration(b *testing.B)  { benchExperiment(b, "E2", "gini_jobs_user") }
+func Benchmark_E3_JobStructure(b *testing.B)   { benchExperiment(b, "E3", "mean_nodes") }
+func Benchmark_E4_FailureBreakdown(b *testing.B) {
+	benchExperiment(b, "E4", "failures", "user_share")
+}
+func Benchmark_E5_ExecLengthCDF(b *testing.B) { benchExperiment(b, "E5", "ks_two_sample") }
+func Benchmark_E6_DistributionFits(b *testing.B) {
+	benchExperiment(b, "E6", "ks_error", "ks_segfault")
+}
+func Benchmark_E7_UserCorrelation(b *testing.B) { benchExperiment(b, "E7", "cramers_v_user") }
+func Benchmark_E8_StructureTrends(b *testing.B) { benchExperiment(b, "E8", "trend_nodes") }
+func Benchmark_E9_RASProfile(b *testing.B)      { benchExperiment(b, "E9", "fatal_share") }
+func Benchmark_E10_Locality(b *testing.B)       { benchExperiment(b, "E10", "gini_midplane") }
+func Benchmark_E11_FilterSweep(b *testing.B) {
+	benchExperiment(b, "E11", "incidents_20m_temporal+spatial+msg")
+}
+func Benchmark_E12_MTTI(b *testing.B)       { benchExperiment(b, "E12", "mtti_days", "interruptions") }
+func Benchmark_E13_IOBehavior(b *testing.B) { benchExperiment(b, "E13", "median_ratio") }
+func Benchmark_E14_Temporal(b *testing.B)   { benchExperiment(b, "E14", "diurnal_ratio") }
+func Benchmark_E15_Interrupts(b *testing.B) {
+	benchExperiment(b, "E15", "pearson_ch_interrupts")
+}
+func Benchmark_E16_Precursors(b *testing.B) { benchExperiment(b, "E16", "coverage_12h") }
+func Benchmark_E17_Scheduling(b *testing.B) { benchExperiment(b, "E17", "pearson_req_used") }
+func Benchmark_E18_Bathtub(b *testing.B)    { benchExperiment(b, "E18", "mid_life_mtti") }
+func Benchmark_E19_Waste(b *testing.B)      { benchExperiment(b, "E19", "wasted_share") }
+func Benchmark_E20_Resubmission(b *testing.B) {
+	benchExperiment(b, "E20", "p_fail_after_fail", "lift")
+}
+func Benchmark_E21_TorusCorrelation(b *testing.B) {
+	benchExperiment(b, "E21", "nbr_share_close_1h")
+}
+func Benchmark_E22_Availability(b *testing.B) {
+	benchExperiment(b, "E22", "availability")
+}
+func Benchmark_E23_Survival(b *testing.B) { benchExperiment(b, "E23", "s_1h") }
+
+// Substrate micro-benchmarks.
+
+// BenchmarkCorpusGeneration measures end-to-end synthesis of a 30-day
+// corpus (workload + scheduler + faults + logs).
+func BenchmarkCorpusGeneration30d(b *testing.B) {
+	cfg := sim.SmallConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		c, err := sim.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(c.Jobs) == 0 {
+			b.Fatal("empty corpus")
+		}
+	}
+}
+
+// BenchmarkJobCSVRoundTrip measures the scheduler-log codec throughput.
+func BenchmarkJobCSVRoundTrip(b *testing.B) {
+	env := sharedEnv(b)
+	jobs := env.Corpus.Jobs[:10000]
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := joblog.WriteCSV(&buf, jobs); err != nil {
+			b.Fatal(err)
+		}
+		back, err := joblog.ReadCSV(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(back) != len(jobs) {
+			b.Fatal("row count mismatch")
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+// BenchmarkRASCSVRoundTrip measures the RAS-log codec throughput.
+func BenchmarkRASCSVRoundTrip(b *testing.B) {
+	env := sharedEnv(b)
+	n := len(env.Corpus.Events)
+	if n > 20000 {
+		n = 20000
+	}
+	events := env.Corpus.Events[:n]
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := raslog.WriteCSV(&buf, events); err != nil {
+			b.Fatal(err)
+		}
+		back, err := raslog.ReadCSV(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(back) != len(events) {
+			b.Fatal("row count mismatch")
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+// BenchmarkRASDecode contrasts slurp decoding with the streaming Scanner
+// (the decode ablation in DESIGN.md §6).
+func BenchmarkRASDecode(b *testing.B) {
+	env := sharedEnv(b)
+	n := len(env.Corpus.Events)
+	if n > 20000 {
+		n = 20000
+	}
+	var buf bytes.Buffer
+	if err := raslog.WriteCSV(&buf, env.Corpus.Events[:n]); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.Run("slurp", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			events, err := raslog.ReadCSV(bytes.NewReader(data))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(events) != n {
+				b.Fatal("count mismatch")
+			}
+		}
+	})
+	b.Run("stream", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc, err := raslog.NewScanner(bytes.NewReader(data))
+			if err != nil {
+				b.Fatal(err)
+			}
+			count := 0
+			for sc.Scan() {
+				count++
+			}
+			if err := sc.Err(); err != nil {
+				b.Fatal(err)
+			}
+			if count != n {
+				b.Fatal("count mismatch")
+			}
+		}
+	})
+}
+
+// BenchmarkFilterFatal measures similarity filtering over the corpus' RAS
+// stream, per rule (the E11 ablation).
+func BenchmarkFilterFatal(b *testing.B) {
+	env := sharedEnv(b)
+	rules := []struct {
+		name string
+		rule core.FilterRule
+	}{
+		{"temporal", core.FilterRule{Window: 20 * time.Minute, Spatial: machine.LevelSystem}},
+		{"spatial", core.FilterRule{Window: 20 * time.Minute, Spatial: machine.LevelMidplane}},
+		{"spatial+msg", core.FilterRule{Window: 20 * time.Minute, Spatial: machine.LevelMidplane, SameMessage: true}},
+	}
+	for _, r := range rules {
+		b.Run(r.name, func(b *testing.B) {
+			var n int
+			for i := 0; i < b.N; i++ {
+				incidents, err := core.FilterFatal(env.D.Events, r.rule)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n = len(incidents)
+			}
+			b.ReportMetric(float64(n), "incidents")
+		})
+	}
+}
+
+// BenchmarkFitters measures MLE fitting per family on 10k samples.
+func BenchmarkFitters(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	w, err := dist.NewWeibull(0.62, 2100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]float64, 10000)
+	for i := range data {
+		data[i] = w.Rand(rng)
+	}
+	for _, f := range dist.DefaultFitters() {
+		b.Run(f.FamilyName(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Fit(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkModelSelection measures full KS-ranked model selection.
+func BenchmarkModelSelection(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	p, err := dist.NewPareto(45, 1.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]float64, 5000)
+	for i := range data {
+		data[i] = p.Rand(rng)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := dist.SelectBest(data, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocator measures block alloc/free cycles under fragmentation.
+func BenchmarkAllocator(b *testing.B) {
+	sizes := []int{512, 1024, 2048, 4096, 8192}
+	a := machine.NewAllocator()
+	rng := rand.New(rand.NewSource(3))
+	var live []machine.Block
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rng.Intn(2) == 0 || len(live) == 0 {
+			if blk, ok := a.Alloc(sizes[rng.Intn(len(sizes))]); ok {
+				live = append(live, blk)
+			}
+		} else {
+			j := rng.Intn(len(live))
+			if err := a.Free(live[j]); err != nil {
+				b.Fatal(err)
+			}
+			live = append(live[:j], live[j+1:]...)
+		}
+	}
+}
+
+// BenchmarkSchedulerPolicies contrasts FCFS and EASY backfill on the same
+// synthetic queue (the scheduler ablation in DESIGN.md §6).
+func BenchmarkSchedulerPolicies(b *testing.B) {
+	for _, policy := range []sched.Policy{sched.FCFS, sched.EASYBackfill} {
+		b.Run(policy.String(), func(b *testing.B) {
+			var makespan time.Duration
+			for i := 0; i < b.N; i++ {
+				makespan = runSchedulerWorkload(b, policy)
+			}
+			b.ReportMetric(makespan.Hours(), "makespan_h")
+		})
+	}
+}
+
+func runSchedulerWorkload(b *testing.B, policy sched.Policy) time.Duration {
+	b.Helper()
+	s := sched.New(policy)
+	t0 := time.Date(2013, 4, 9, 0, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(4))
+	sizes := []int{512, 1024, 2048, 4096, 8192, 16384, 32768}
+	type active struct {
+		id  int64
+		end time.Time
+	}
+	var running []active
+	now := t0
+	const jobs = 500
+	for id := int64(1); id <= jobs; id++ {
+		if err := s.Submit(id, sizes[rng.Intn(len(sizes))], time.Duration(1+rng.Intn(4))*time.Hour, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for {
+		for _, d := range s.Schedule(now) {
+			running = append(running, active{id: d.JobID, end: now.Add(time.Duration(30+rng.Intn(90)) * time.Minute)})
+		}
+		if len(running) == 0 {
+			break
+		}
+		earliest := 0
+		for i := range running {
+			if running[i].end.Before(running[earliest].end) {
+				earliest = i
+			}
+		}
+		now = running[earliest].end
+		if err := s.Complete(running[earliest].id); err != nil {
+			b.Fatal(err)
+		}
+		running = append(running[:earliest], running[earliest+1:]...)
+	}
+	if s.QueueLen() != 0 {
+		b.Fatalf("%s left %d queued", policy, s.QueueLen())
+	}
+	return now.Sub(t0)
+}
+
+// BenchmarkTakeaways measures the full 22-takeaway joint analysis.
+func BenchmarkTakeaways(b *testing.B) {
+	env := sharedEnv(b)
+	for i := 0; i < b.N; i++ {
+		ts, err := env.D.Takeaways()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ts) != 22 {
+			b.Fatalf("got %d takeaways", len(ts))
+		}
+	}
+}
+
+// BenchmarkClassification measures both classification strategies.
+func BenchmarkClassification(b *testing.B) {
+	env := sharedEnv(b)
+	b.Run("by-exit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cls := env.D.ClassifyByExit()
+			if cls.Failed == 0 {
+				b.Fatal("no failures")
+			}
+		}
+	})
+	b.Run("joint", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cls := env.D.ClassifyJoint(core.DefaultJointOptions())
+			if cls.Failed == 0 {
+				b.Fatal("no failures")
+			}
+		}
+	})
+}

@@ -1,0 +1,71 @@
+// Command calibrate regenerates the default corpus and prints the
+// calibration anchors next to the paper's values — the check that the
+// simulator still reproduces the abstract's headline numbers after any
+// model change.
+//
+// Usage:
+//
+//	calibrate [-days 2001] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/joblog"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	days := flag.Int("days", 0, "override observation span (0 = 2001)")
+	seed := flag.Int64("seed", 0, "override RNG seed (0 = default)")
+	flag.Parse()
+
+	cfg := sim.DefaultConfig()
+	if *days > 0 {
+		cfg.Days = *days
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	scale := float64(cfg.Days) / 2001.0
+
+	start := time.Now()
+	c, err := sim.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	var coreHours float64
+	fams := map[joblog.ExitFamily]int{}
+	for i := range c.Jobs {
+		coreHours += c.Jobs[i].CoreHours()
+		fams[joblog.Family(c.Jobs[i].ExitStatus)]++
+	}
+	fails := len(c.Jobs) - fams[joblog.FamilySuccess]
+	userShare := float64(fails-fams[joblog.FamilySystem]) / float64(fails)
+	mtti := float64(cfg.Days) / float64(c.Truth.KillingIncidents)
+
+	fmt.Printf("generation time: %v\n", time.Since(start))
+	fmt.Printf("%-22s %14s %14s\n", "anchor", "measured", "paper (scaled)")
+	row := func(name string, measured, target float64) {
+		fmt.Printf("%-22s %14.3f %14.3f\n", name, measured, target)
+	}
+	row("days", float64(cfg.Days), 2001*scale)
+	row("core-hours (B)", coreHours/1e9, 32.44*scale)
+	row("job failures", float64(fails), 99245*scale)
+	row("user-caused share", userShare, 0.994)
+	row("MTTI (days)", mtti, 3.5)
+	fmt.Printf("\njobs=%d tasks=%d events=%d io=%d\n", len(c.Jobs), len(c.Tasks), len(c.Events), len(c.IO))
+	fmt.Printf("truth: %+v\n", c.Truth)
+	fmt.Printf("failure families: %v\n", fams)
+	return nil
+}

@@ -1,0 +1,226 @@
+// Command mirareport runs the paper's analyses — experiments E1–E22 and the
+// 22-takeaway report — over a corpus, either loaded from CSV files written
+// by miragen or generated in memory.
+//
+// Usage:
+//
+//	mirareport [-in corpus/] [-days 2001] [-seed 1] [-exp E6] [-takeaways] [-csv out/]
+//
+// Without -in, a corpus is generated with the default (or overridden)
+// configuration. Without -exp, every experiment runs. -csv additionally
+// dumps every figure as a CSV series for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/iolog"
+	"repro/internal/joblog"
+	"repro/internal/raslog"
+	"repro/internal/sim"
+	"repro/internal/tasklog"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mirareport:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	in := flag.String("in", "", "corpus directory written by miragen (empty = generate)")
+	days := flag.Int("days", 0, "override days when generating")
+	seed := flag.Int64("seed", 0, "override seed when generating")
+	small := flag.Bool("small", false, "generate the fast 30-day corpus")
+	expID := flag.String("exp", "", "run a single experiment (E1..E22)")
+	takeaways := flag.Bool("takeaways", false, "print only the 22-takeaway report")
+	list := flag.Bool("list", false, "list the experiments and exit")
+	csvDir := flag.String("csv", "", "also dump figure/table CSVs into this directory")
+	flag.Parse()
+
+	if *list {
+		for _, exp := range experiments.All() {
+			fmt.Printf("%-4s %s\n", exp.ID, exp.Description)
+		}
+		return nil
+	}
+
+	env, err := buildEnv(*in, *days, *seed, *small)
+	if err != nil {
+		return err
+	}
+
+	if *takeaways {
+		return printTakeaways(env.D)
+	}
+
+	var toRun []experiments.Experiment
+	if *expID != "" {
+		exp, ok := experiments.ByID(*expID)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (run with -list to see E1..E22)", *expID)
+		}
+		toRun = []experiments.Experiment{exp}
+	} else {
+		toRun = experiments.All()
+	}
+
+	for _, exp := range toRun {
+		res, err := exp.Run(env)
+		if err != nil {
+			return fmt.Errorf("%s: %w", exp.ID, err)
+		}
+		fmt.Printf("=== %s: %s ===\n", exp.ID, exp.Description)
+		for _, t := range res.Tables {
+			if err := t.Render(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		for _, f := range res.Figures {
+			if err := f.Render(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		if *csvDir != "" {
+			if err := dumpCSVs(*csvDir, res); err != nil {
+				return err
+			}
+		}
+	}
+	if *expID == "" {
+		fmt.Println("=== 22 takeaways ===")
+		return printTakeaways(env.D)
+	}
+	return nil
+}
+
+// buildEnv creates the evaluation environment from a CSV corpus directory
+// or by generating a fresh corpus.
+func buildEnv(in string, days int, seed int64, small bool) (*experiments.Env, error) {
+	if in == "" {
+		cfg := sim.DefaultConfig()
+		if small {
+			cfg = sim.SmallConfig()
+		}
+		if days > 0 {
+			cfg.Days = days
+		}
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		fmt.Fprintf(os.Stderr, "generating %d-day corpus (seed %d)...\n", cfg.Days, cfg.Seed)
+		return experiments.NewEnv(cfg)
+	}
+	jobs, err := readJobs(filepath.Join(in, "jobs.csv"))
+	if err != nil {
+		return nil, err
+	}
+	tasks, err := readTasks(filepath.Join(in, "tasks.csv"))
+	if err != nil {
+		return nil, err
+	}
+	events, err := readEvents(filepath.Join(in, "ras.csv"))
+	if err != nil {
+		return nil, err
+	}
+	ioRecs, err := readIO(filepath.Join(in, "io.csv"))
+	if err != nil {
+		return nil, err
+	}
+	d, err := core.NewDataset(jobs, tasks, events, ioRecs)
+	if err != nil {
+		return nil, err
+	}
+	return &experiments.Env{D: d}, nil
+}
+
+func readJobs(path string) ([]joblog.Job, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return joblog.ReadCSV(f)
+}
+
+func readTasks(path string) ([]tasklog.Task, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return tasklog.ReadCSV(f)
+}
+
+func readEvents(path string) ([]raslog.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return raslog.ReadCSV(f)
+}
+
+func readIO(path string) ([]iolog.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return iolog.ReadCSV(f)
+}
+
+func printTakeaways(d *core.Dataset) error {
+	ts, err := d.Takeaways()
+	if err != nil {
+		return err
+	}
+	for _, t := range ts {
+		fmt.Printf("%2d. [%s] %s\n", t.ID, t.Tag, t.Text)
+	}
+	return nil
+}
+
+func dumpCSVs(dir string, res *experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range res.Tables {
+		path := filepath.Join(dir, fmt.Sprintf("%s_table%d.csv", strings.ToLower(res.ID), i+1))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := t.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	for i, fig := range res.Figures {
+		path := filepath.Join(dir, fmt.Sprintf("%s_fig%d.csv", strings.ToLower(res.ID), i+1))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fig.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

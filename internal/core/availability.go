@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/machine"
+	"repro/internal/raslog"
+	"repro/internal/stats"
+)
+
+// AvailabilityResult is the downtime profile derived from service-action
+// begin/end pairs in the RAS log: how much hardware was out of service,
+// the resulting machine availability, and the repair-time distribution.
+type AvailabilityResult struct {
+	ServiceActions    int     // matched begin/end pairs
+	UnmatchedBegins   int     // actions still open at the end of the window
+	DownMidplaneHours float64 // Σ per-midplane out-of-service hours
+	SpanHours         float64
+	// Availability = 1 − down-midplane-hours / (96 × span).
+	Availability float64
+	// RepairHours are the matched service-action durations.
+	RepairHours   []float64
+	MeanRepairH   float64
+	MedianRepairH float64
+	// BestFit is the best-fitting law of the repair durations.
+	BestFit dist.FitResult
+}
+
+// Availability pairs service-action begin/end events per hardware location
+// and derives downtime, availability and the repair-time distribution.
+func (d *Dataset) Availability() (*AvailabilityResult, error) {
+	open := map[machine.Location][]int{} // location → indices of open begins
+	var begins []raslog.Event
+	res := &AvailabilityResult{}
+	_, end := d.Span()
+	start, _ := d.Span()
+	res.SpanHours = end.Sub(start).Hours()
+
+	for i := range d.Events {
+		e := &d.Events[i]
+		switch e.MsgID {
+		case raslog.MsgServiceBegin:
+			begins = append(begins, *e)
+			open[e.Loc] = append(open[e.Loc], len(begins)-1)
+		case raslog.MsgServiceEnd:
+			q := open[e.Loc]
+			if len(q) == 0 {
+				continue // unmatched end (window-truncated log)
+			}
+			b := begins[q[0]]
+			open[e.Loc] = q[1:]
+			dur := e.Time.Sub(b.Time).Hours()
+			if dur < 0 {
+				continue
+			}
+			res.ServiceActions++
+			res.RepairHours = append(res.RepairHours, dur)
+			res.DownMidplaneHours += dur
+		}
+	}
+	for _, q := range open {
+		res.UnmatchedBegins += len(q)
+	}
+	if res.ServiceActions == 0 {
+		return nil, fmt.Errorf("core: no service-action pairs in the RAS log")
+	}
+	if res.SpanHours > 0 {
+		res.Availability = 1 - res.DownMidplaneHours/(float64(machine.TotalMidplanes)*res.SpanHours)
+	}
+	res.MeanRepairH = stats.Mean(res.RepairHours)
+	med, err := stats.Quantile(res.RepairHours, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	res.MedianRepairH = med
+	if len(res.RepairHours) >= 30 {
+		sorted := append([]float64(nil), res.RepairHours...)
+		sort.Float64s(sorted)
+		best, err := dist.SelectBest(sorted, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: fit repair times: %w", err)
+		}
+		res.BestFit = best
+	}
+	return res, nil
+}

@@ -1,0 +1,150 @@
+// Package core implements the paper's contribution: the joint
+// failure-analysis engine over the four Mira logs. It classifies job
+// failures (user- vs system-caused), correlates failures with users,
+// projects and job structure, fits candidate distributions to execution
+// lengths per exit family, performs similarity-based RAS event filtering,
+// and derives the system's mean time to interruption (MTTI), spatial
+// locality and temporal patterns.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/iolog"
+	"repro/internal/joblog"
+	"repro/internal/raslog"
+	"repro/internal/tasklog"
+)
+
+// Dataset bundles the four logs with the indices the analyses share.
+// Build one with NewDataset; the struct is read-only afterwards and safe
+// for concurrent use.
+type Dataset struct {
+	Jobs   []joblog.Job
+	Tasks  []tasklog.Task
+	Events []raslog.Event // sorted by time
+	IO     []iolog.Record
+
+	tasksByJob map[int64][]tasklog.Task
+	ioByJob    map[int64]iolog.Record
+	jobByID    map[int64]*joblog.Job
+
+	start, end time.Time
+}
+
+// NewDataset indexes the logs. Events are sorted by time if they are not
+// already; jobs and tasks are never reordered.
+func NewDataset(jobs []joblog.Job, tasks []tasklog.Task, events []raslog.Event, ioRecs []iolog.Record) (*Dataset, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("core: dataset has no jobs")
+	}
+	d := &Dataset{Jobs: jobs, Tasks: tasks, Events: events, IO: ioRecs}
+	if !sort.SliceIsSorted(events, func(i, j int) bool { return events[i].Time.Before(events[j].Time) }) {
+		sorted := append([]raslog.Event(nil), events...)
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time.Before(sorted[j].Time) })
+		d.Events = sorted
+	}
+	d.tasksByJob = tasklog.ByJob(tasks)
+	d.ioByJob = iolog.ByJob(ioRecs)
+	d.jobByID = make(map[int64]*joblog.Job, len(jobs))
+	d.start = jobs[0].Submit
+	d.end = jobs[0].End
+	for i := range jobs {
+		j := &jobs[i]
+		if _, dup := d.jobByID[j.ID]; dup {
+			return nil, fmt.Errorf("core: duplicate job id %d", j.ID)
+		}
+		d.jobByID[j.ID] = j
+		if j.Submit.Before(d.start) {
+			d.start = j.Submit
+		}
+		if j.End.After(d.end) {
+			d.end = j.End
+		}
+	}
+	for i := range events {
+		if t := events[i].Time; t.Before(d.start) {
+			d.start = t
+		} else if t.After(d.end) {
+			d.end = t
+		}
+	}
+	return d, nil
+}
+
+// Span returns the observation window covered by the dataset.
+func (d *Dataset) Span() (start, end time.Time) { return d.start, d.end }
+
+// Days returns the observation span in (fractional) days.
+func (d *Dataset) Days() float64 { return d.end.Sub(d.start).Hours() / 24 }
+
+// Job returns the job with the given ID.
+func (d *Dataset) Job(id int64) (*joblog.Job, bool) {
+	j, ok := d.jobByID[id]
+	return j, ok
+}
+
+// TasksOf returns the tasks of a job (nil if none recorded).
+func (d *Dataset) TasksOf(id int64) []tasklog.Task { return d.tasksByJob[id] }
+
+// IOOf returns the I/O record of a job if one was captured.
+func (d *Dataset) IOOf(id int64) (iolog.Record, bool) {
+	r, ok := d.ioByJob[id]
+	return r, ok
+}
+
+// Summary holds the dataset-level statistics of Table I.
+type Summary struct {
+	Days        float64
+	Jobs        int
+	Tasks       int
+	Users       int
+	Projects    int
+	CoreHours   float64
+	RASTotal    int
+	RASFatal    int
+	RASWarn     int
+	RASInfo     int
+	IORecords   int
+	FailedJobs  int
+	SuccessJobs int
+}
+
+// Summarize computes the Table-I style dataset summary.
+func (d *Dataset) Summarize() Summary {
+	s := Summary{
+		Days:      d.Days(),
+		Jobs:      len(d.Jobs),
+		Tasks:     len(d.Tasks),
+		IORecords: len(d.IO),
+	}
+	users := map[string]bool{}
+	projects := map[string]bool{}
+	for i := range d.Jobs {
+		j := &d.Jobs[i]
+		users[j.User] = true
+		projects[j.Project] = true
+		s.CoreHours += j.CoreHours()
+		if j.Outcome() == joblog.OutcomeSuccess {
+			s.SuccessJobs++
+		} else {
+			s.FailedJobs++
+		}
+	}
+	s.Users = len(users)
+	s.Projects = len(projects)
+	for i := range d.Events {
+		s.RASTotal++
+		switch d.Events[i].Sev {
+		case raslog.Fatal:
+			s.RASFatal++
+		case raslog.Warn:
+			s.RASWarn++
+		default:
+			s.RASInfo++
+		}
+	}
+	return s
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/raslog"
+)
+
+// FilterRule defines the similarity notion used to coalesce a burst of
+// near-duplicate RAS events into one incident (the paper's
+// "similarity-based event filtering").
+//
+// Two consecutive events are similar when all enabled conditions hold:
+//   - temporal: they are at most Window apart;
+//   - spatial: their locations share an ancestor at Spatial level
+//     (LevelSystem disables the spatial condition);
+//   - message: same message ID when SameMessage, else same category.
+type FilterRule struct {
+	Window      time.Duration
+	Spatial     machine.Level
+	SameMessage bool
+}
+
+// DefaultFilterRule is the paper-style rule: 20-minute window, midplane
+// spatial scope, message-ID similarity.
+func DefaultFilterRule() FilterRule {
+	return FilterRule{Window: 20 * time.Minute, Spatial: machine.LevelMidplane, SameMessage: true}
+}
+
+// Validate checks the rule.
+func (r FilterRule) Validate() error {
+	if r.Window <= 0 {
+		return fmt.Errorf("core: filter window must be positive")
+	}
+	if r.Spatial < machine.LevelSystem || r.Spatial > machine.LevelNode {
+		return fmt.Errorf("core: bad spatial level %v", r.Spatial)
+	}
+	return nil
+}
+
+// Incident is one coalesced failure event.
+type Incident struct {
+	First, Last time.Time
+	Events      int
+	Loc         machine.Location // representative location (first event)
+	MsgID       string
+	Cat         raslog.Category
+	JobIDs      []int64 // distinct nonzero job ids attributed to the burst
+}
+
+// Duration returns the incident's burst span.
+func (in *Incident) Duration() time.Duration { return in.Last.Sub(in.First) }
+
+// key is the similarity identity of an open incident.
+type filterKey struct {
+	msg string
+	cat raslog.Category
+	loc machine.Location
+}
+
+// FilterFatal coalesces the FATAL events of the stream into incidents under
+// the rule. Events must be sorted by time (Dataset guarantees this).
+func FilterFatal(events []raslog.Event, rule FilterRule) ([]Incident, error) {
+	return FilterBySeverity(events, raslog.Fatal, rule)
+}
+
+// FilterBySeverity coalesces the events of one severity into incidents
+// under the rule — FATAL bursts become interruption incidents, WARN bursts
+// become the precursor signals the lead-time analysis mines. Events must be
+// sorted by time.
+func FilterBySeverity(events []raslog.Event, sev raslog.Severity, rule FilterRule) ([]Incident, error) {
+	if err := rule.Validate(); err != nil {
+		return nil, err
+	}
+	open := map[filterKey]int{} // key → index into incidents
+	var incidents []Incident
+	for i := range events {
+		e := &events[i]
+		if e.Sev != sev {
+			continue
+		}
+		k := filterKey{}
+		if rule.SameMessage {
+			k.msg = e.MsgID
+		} else {
+			k.cat = e.Cat
+		}
+		if rule.Spatial > machine.LevelSystem {
+			if e.Loc.Level() >= rule.Spatial {
+				anc, err := e.Loc.Ancestor(rule.Spatial)
+				if err == nil {
+					k.loc = anc
+				} else {
+					k.loc = e.Loc
+				}
+			} else {
+				k.loc = e.Loc
+			}
+		}
+		if idx, ok := open[k]; ok && e.Time.Sub(incidents[idx].Last) <= rule.Window {
+			in := &incidents[idx]
+			in.Last = e.Time
+			in.Events++
+			if e.JobID != 0 && !containsID(in.JobIDs, e.JobID) {
+				in.JobIDs = append(in.JobIDs, e.JobID)
+			}
+			continue
+		}
+		incidents = append(incidents, Incident{
+			First: e.Time, Last: e.Time, Events: 1,
+			Loc: e.Loc, MsgID: e.MsgID, Cat: e.Cat,
+		})
+		if e.JobID != 0 {
+			incidents[len(incidents)-1].JobIDs = []int64{e.JobID}
+		}
+		open[k] = len(incidents) - 1
+	}
+	return incidents, nil
+}
+
+func containsID(ids []int64, id int64) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// SweepPoint is one point of the filtering sensitivity sweep.
+type SweepPoint struct {
+	Window    time.Duration
+	Incidents int
+	Reduction float64 // 1 − incidents/raw-fatal-count
+}
+
+// FilterSweep runs FilterFatal across the given windows (holding the rest
+// of the rule fixed) and reports the incident counts — the knee of this
+// curve is how the paper picks its filtering window.
+func FilterSweep(events []raslog.Event, base FilterRule, windows []time.Duration) ([]SweepPoint, error) {
+	raw := 0
+	for i := range events {
+		if events[i].Sev == raslog.Fatal {
+			raw++
+		}
+	}
+	out := make([]SweepPoint, 0, len(windows))
+	for _, w := range windows {
+		rule := base
+		rule.Window = w
+		incidents, err := FilterFatal(events, rule)
+		if err != nil {
+			return nil, err
+		}
+		p := SweepPoint{Window: w, Incidents: len(incidents)}
+		if raw > 0 {
+			p.Reduction = 1 - float64(len(incidents))/float64(raw)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// KneeWindow picks the knee of a sweep: the first window after which
+// doubling the window reduces the incident count by less than relTol.
+// The sweep must be ordered by increasing window.
+func KneeWindow(sweep []SweepPoint, relTol float64) (time.Duration, bool) {
+	if len(sweep) < 2 {
+		return 0, false
+	}
+	for i := 1; i < len(sweep); i++ {
+		prev, cur := sweep[i-1].Incidents, sweep[i].Incidents
+		if prev == 0 {
+			return sweep[i-1].Window, true
+		}
+		if float64(prev-cur)/float64(prev) < relTol {
+			return sweep[i-1].Window, true
+		}
+	}
+	return sweep[len(sweep)-1].Window, false
+}

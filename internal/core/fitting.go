@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/joblog"
+)
+
+// FamilyFit is the distribution-fitting result for one exit family — one
+// row of the paper's best-fit table (E6).
+type FamilyFit struct {
+	Family  joblog.ExitFamily
+	N       int              // failed jobs in the family
+	Results []dist.FitResult // ranked best-first by KS
+}
+
+// Best returns the winning fit.
+func (f *FamilyFit) Best() dist.FitResult {
+	if len(f.Results) == 0 {
+		return dist.FitResult{}
+	}
+	return f.Results[0]
+}
+
+// FitOptions tunes the per-family fitting.
+type FitOptions struct {
+	// MinSamples skips families with fewer failed jobs (default 50).
+	MinSamples int
+	// Fitters overrides the candidate set (default dist.DefaultFitters).
+	Fitters []dist.Fitter
+	// MaxSamples caps the per-family sample (0 = unlimited). Fitting is
+	// O(n) per candidate; the cap keeps interactive runs fast without
+	// changing the winner on large corpora.
+	MaxSamples int
+}
+
+// FitExecutionLengths fits the candidate distribution families to the
+// execution lengths (seconds) of failed jobs, one fit per exit family,
+// reproducing the paper's "best-fit depends on the exit code" analysis.
+// Families are returned in joblog.FailureFamilies order; families with too
+// few samples are skipped.
+func (d *Dataset) FitExecutionLengths(opt FitOptions) ([]FamilyFit, error) {
+	if opt.MinSamples <= 0 {
+		opt.MinSamples = 50
+	}
+	samples := map[joblog.ExitFamily][]float64{}
+	for i := range d.Jobs {
+		j := &d.Jobs[i]
+		if j.Outcome() != joblog.OutcomeFailure {
+			continue
+		}
+		sec := j.Runtime().Seconds()
+		if sec <= 0 {
+			continue
+		}
+		fam := joblog.Family(j.ExitStatus)
+		samples[fam] = append(samples[fam], sec)
+	}
+	var out []FamilyFit
+	for _, fam := range joblog.FailureFamilies() {
+		data := samples[fam]
+		if len(data) < opt.MinSamples {
+			continue
+		}
+		if opt.MaxSamples > 0 && len(data) > opt.MaxSamples {
+			data = thin(data, opt.MaxSamples)
+		}
+		results := dist.FitAll(data, opt.Fitters)
+		if len(results) == 0 {
+			return nil, fmt.Errorf("core: no fit results for family %s", fam)
+		}
+		out = append(out, FamilyFit{Family: fam, N: len(data), Results: results})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: no exit family had ≥%d failed jobs", opt.MinSamples)
+	}
+	return out, nil
+}
+
+// thin deterministically subsamples data down to k points (every n/k-th
+// point of the original order), preserving the distribution.
+func thin(data []float64, k int) []float64 {
+	n := len(data)
+	out := make([]float64, 0, k)
+	step := float64(n) / float64(k)
+	for i := 0; i < k; i++ {
+		out = append(out, data[int(float64(i)*step)])
+	}
+	return out
+}
+
+// ExecutionLengthCDFs returns the execution-length samples (seconds) of
+// succeeded and failed jobs — the data behind the paper's CDF comparison
+// figure (E5).
+func (d *Dataset) ExecutionLengthCDFs() (succeeded, failed []float64) {
+	for i := range d.Jobs {
+		j := &d.Jobs[i]
+		sec := j.Runtime().Seconds()
+		if sec <= 0 {
+			continue
+		}
+		if j.Outcome() == joblog.OutcomeSuccess {
+			succeeded = append(succeeded, sec)
+		} else {
+			failed = append(failed, sec)
+		}
+	}
+	sort.Float64s(succeeded)
+	sort.Float64s(failed)
+	return succeeded, failed
+}

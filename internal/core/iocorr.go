@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/joblog"
+	"repro/internal/stats"
+)
+
+// IOCorrelation compares the I/O behavior of succeeded and failed jobs
+// (experiment E13) over the jobs that have a Darshan-style record.
+type IOCorrelation struct {
+	SampledJobs   int
+	SuccessBytes  stats.Summary // total bytes moved, succeeded jobs
+	FailedBytes   stats.Summary // total bytes moved, failed jobs
+	SuccessIOSecs stats.Summary
+	FailedIOSecs  stats.Summary
+	// MedianRatio is median(success bytes) / median(failed bytes): > 1
+	// means failed jobs move less data (they die before doing their I/O).
+	MedianRatio float64
+	// KSBytes is the two-sample KS distance between the two byte
+	// distributions; large values mean clearly different I/O behavior.
+	KSBytes float64
+	// SpearmanBytesOutcome is the rank correlation between bytes moved and
+	// success (0/1).
+	SpearmanBytesOutcome float64
+}
+
+// IOBehavior computes E13's I/O-vs-outcome comparison.
+func (d *Dataset) IOBehavior() (*IOCorrelation, error) {
+	var okBytes, failBytes, okSecs, failSecs []float64
+	var bytesAll, successAll []float64
+	for i := range d.Jobs {
+		j := &d.Jobs[i]
+		rec, ok := d.ioByJob[j.ID]
+		if !ok {
+			continue
+		}
+		b := float64(rec.TotalBytes())
+		s := rec.IOTime.Seconds()
+		bytesAll = append(bytesAll, b)
+		if j.Outcome() == joblog.OutcomeSuccess {
+			okBytes = append(okBytes, b)
+			okSecs = append(okSecs, s)
+			successAll = append(successAll, 1)
+		} else {
+			failBytes = append(failBytes, b)
+			failSecs = append(failSecs, s)
+			successAll = append(successAll, 0)
+		}
+	}
+	if len(okBytes) == 0 || len(failBytes) == 0 {
+		return nil, fmt.Errorf("core: need I/O records for both outcomes (ok=%d fail=%d)", len(okBytes), len(failBytes))
+	}
+	res := &IOCorrelation{SampledJobs: len(bytesAll)}
+	var err error
+	if res.SuccessBytes, err = stats.Summarize(okBytes); err != nil {
+		return nil, err
+	}
+	if res.FailedBytes, err = stats.Summarize(failBytes); err != nil {
+		return nil, err
+	}
+	if res.SuccessIOSecs, err = stats.Summarize(okSecs); err != nil {
+		return nil, err
+	}
+	if res.FailedIOSecs, err = stats.Summarize(failSecs); err != nil {
+		return nil, err
+	}
+	if res.FailedBytes.Median > 0 {
+		res.MedianRatio = res.SuccessBytes.Median / res.FailedBytes.Median
+	}
+	if res.KSBytes, err = stats.KSTwoSample(okBytes, failBytes); err != nil {
+		return nil, err
+	}
+	if res.SpearmanBytesOutcome, err = stats.Spearman(bytesAll, successAll); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// InterruptCorrelation quantifies how system interruptions track user
+// activity and core-hours (E15): bigger consumers absorb more of the
+// machine, so they are interrupted more.
+type InterruptCorrelation struct {
+	// PearsonCHInterrupts correlates per-user core-hours with per-user
+	// system-interrupt counts.
+	PearsonCHInterrupts float64
+	// PearsonJobsInterrupts correlates per-user job counts with interrupts.
+	PearsonJobsInterrupts float64
+	// TopDecileShare is the share of interrupts hitting the top 10% of
+	// users by core-hours.
+	TopDecileShare float64
+	Users          int
+	Interrupted    int // users with ≥1 system interrupt
+}
+
+// InterruptsByUser computes E15 from a classification.
+func (d *Dataset) InterruptsByUser(cls *Classification) (*InterruptCorrelation, error) {
+	type agg struct {
+		ch         float64
+		jobs       int
+		interrupts int
+	}
+	m := map[string]*agg{}
+	for i := range d.Jobs {
+		j := &d.Jobs[i]
+		a, ok := m[j.User]
+		if !ok {
+			a = &agg{}
+			m[j.User] = a
+		}
+		a.jobs++
+		a.ch += j.CoreHours()
+		if cls.Causes[j.ID] == CauseSystem {
+			a.interrupts++
+		}
+	}
+	if len(m) < 3 {
+		return nil, fmt.Errorf("core: need ≥3 users, have %d", len(m))
+	}
+	users := make([]string, 0, len(m))
+	for u := range m {
+		users = append(users, u)
+	}
+	// Deterministic order.
+	sort.Strings(users)
+	ch := make([]float64, len(users))
+	jobs := make([]float64, len(users))
+	ints := make([]float64, len(users))
+	res := &InterruptCorrelation{Users: len(users)}
+	for i, u := range users {
+		a := m[u]
+		ch[i] = a.ch
+		jobs[i] = float64(a.jobs)
+		ints[i] = float64(a.interrupts)
+		if a.interrupts > 0 {
+			res.Interrupted++
+		}
+	}
+	var err error
+	if res.PearsonCHInterrupts, err = stats.Pearson(ch, ints); err != nil {
+		return nil, err
+	}
+	if res.PearsonJobsInterrupts, err = stats.Pearson(jobs, ints); err != nil {
+		return nil, err
+	}
+	// Top decile by core-hours.
+	idx := make([]int, len(users))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return ch[idx[a]] > ch[idx[b]] })
+	k := len(idx) / 10
+	if k < 1 {
+		k = 1
+	}
+	var top, total float64
+	for i, id := range idx {
+		total += ints[id]
+		if i < k {
+			top += ints[id]
+		}
+	}
+	if total > 0 {
+		res.TopDecileShare = top / total
+	}
+	return res, nil
+}

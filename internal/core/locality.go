@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/raslog"
+	"repro/internal/stats"
+)
+
+// LocationCount is the FATAL event (or incident) count at one location.
+type LocationCount struct {
+	Loc   machine.Location
+	Count int
+}
+
+// LocalityResult quantifies the spatial concentration of FATAL events —
+// the paper's "strong locality" finding (E10).
+type LocalityResult struct {
+	Level     machine.Level // aggregation granularity (rack or midplane)
+	Counts    []LocationCount
+	Gini      float64 // concentration across all locations at Level
+	Top5Share float64 // share of events on the 5 worst locations
+	// UniformTopShare is the expected top-5 share if events were spread
+	// uniformly — the baseline the measured share is compared against.
+	UniformTopShare float64
+	// Localized reports Top5Share ≫ UniformTopShare (ratio ≥ 2).
+	Localized bool
+}
+
+// Locality aggregates FATAL events at the given hardware level and measures
+// their spatial concentration. Events above the aggregation level (e.g.
+// whole-system infra messages) are skipped.
+func (d *Dataset) Locality(level machine.Level) (*LocalityResult, error) {
+	if level != machine.LevelRack && level != machine.LevelMidplane {
+		return nil, fmt.Errorf("core: locality level must be rack or midplane, got %v", level)
+	}
+	counts := map[machine.Location]int{}
+	total := 0
+	for i := range d.Events {
+		e := &d.Events[i]
+		if e.Sev != raslog.Fatal || e.Loc.Level() < level {
+			continue
+		}
+		anc, err := e.Loc.Ancestor(level)
+		if err != nil {
+			continue
+		}
+		counts[anc]++
+		total++
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("core: no FATAL events at or below %v", level)
+	}
+	slots := machine.NumRacks
+	if level == machine.LevelMidplane {
+		slots = machine.TotalMidplanes
+	}
+	// Include zero-count locations: concentration is relative to all
+	// hardware, not just hardware that ever failed.
+	vals := make([]float64, 0, slots)
+	out := &LocalityResult{Level: level}
+	for loc, n := range counts {
+		out.Counts = append(out.Counts, LocationCount{Loc: loc, Count: n})
+	}
+	sort.Slice(out.Counts, func(i, j int) bool {
+		if out.Counts[i].Count != out.Counts[j].Count {
+			return out.Counts[i].Count > out.Counts[j].Count
+		}
+		return out.Counts[i].Loc.String() < out.Counts[j].Loc.String()
+	})
+	for _, c := range out.Counts {
+		vals = append(vals, float64(c.Count))
+	}
+	for len(vals) < slots {
+		vals = append(vals, 0)
+	}
+	var err error
+	if out.Gini, err = stats.Gini(vals); err != nil {
+		return nil, err
+	}
+	if out.Top5Share, err = stats.TopKShare(vals, 5); err != nil {
+		return nil, err
+	}
+	out.UniformTopShare = 5.0 / float64(slots)
+	out.Localized = out.Top5Share >= 2*out.UniformTopShare
+	return out, nil
+}
+
+// CategoryProfile is the RAS composition table (E9): counts by severity,
+// category and component.
+type CategoryProfile struct {
+	BySeverity  map[raslog.Severity]int
+	ByCategory  map[raslog.Category]int
+	ByComponent map[raslog.Component]int
+	// FatalByCategory restricts the category counts to FATAL events.
+	FatalByCategory map[raslog.Category]int
+	Total           int
+}
+
+// Profile computes the RAS composition table.
+func (d *Dataset) Profile() *CategoryProfile {
+	p := &CategoryProfile{
+		BySeverity:      map[raslog.Severity]int{},
+		ByCategory:      map[raslog.Category]int{},
+		ByComponent:     map[raslog.Component]int{},
+		FatalByCategory: map[raslog.Category]int{},
+	}
+	for i := range d.Events {
+		e := &d.Events[i]
+		p.Total++
+		p.BySeverity[e.Sev]++
+		p.ByCategory[e.Cat]++
+		p.ByComponent[e.Comp]++
+		if e.Sev == raslog.Fatal {
+			p.FatalByCategory[e.Cat]++
+		}
+	}
+	return p
+}

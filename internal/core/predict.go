@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/raslog"
+	"repro/internal/stats"
+)
+
+// LeadTimeOptions tunes the WARN→FATAL precursor analysis.
+type LeadTimeOptions struct {
+	// Lookback is how far before a FATAL incident precursor WARN bursts
+	// are searched for (and how far ahead a WARN burst is credited as a
+	// true alarm).
+	Lookback time.Duration
+	// Level is the spatial matching granularity (default midplane).
+	Level machine.Level
+}
+
+// DefaultLeadTimeOptions matches a practical operator setting: precursors
+// within 12 hours on the same midplane.
+func DefaultLeadTimeOptions() LeadTimeOptions {
+	return LeadTimeOptions{Lookback: 12 * time.Hour, Level: machine.LevelMidplane}
+}
+
+// LeadTimeResult quantifies how predictable FATAL incidents are from WARN
+// bursts on the same hardware — the correlation-between-events analysis,
+// framed as a precursor detector.
+type LeadTimeResult struct {
+	Incidents     int // localizable FATAL incidents after filtering
+	WithPrecursor int // incidents preceded by ≥1 WARN burst in the window
+	Coverage      float64
+	// LeadHours are the lead times (hours) from the nearest preceding WARN
+	// burst to each covered incident.
+	LeadHours   []float64
+	MedianLeadH float64
+
+	WarnBursts int // WARN bursts at localizable locations
+	TrueAlarms int // bursts followed by a FATAL incident within Lookback
+	Precision  float64
+}
+
+// LeadTime coalesces WARN and FATAL streams into bursts/incidents with the
+// filtering rule and measures precursor coverage, lead time and alarm
+// precision at the chosen spatial level.
+func (d *Dataset) LeadTime(rule FilterRule, opt LeadTimeOptions) (*LeadTimeResult, error) {
+	if opt.Lookback <= 0 || opt.Level < machine.LevelRack || opt.Level > machine.LevelNode {
+		opt = DefaultLeadTimeOptions()
+	}
+	fatals, err := FilterFatal(d.Events, rule)
+	if err != nil {
+		return nil, err
+	}
+	warns, err := FilterBySeverity(d.Events, raslog.Warn, rule)
+	if err != nil {
+		return nil, err
+	}
+	locKey := func(loc machine.Location) (machine.Location, bool) {
+		if loc.Level() < opt.Level {
+			return machine.Location{}, false
+		}
+		anc, err := loc.Ancestor(opt.Level)
+		if err != nil {
+			return machine.Location{}, false
+		}
+		return anc, true
+	}
+	// Index WARN bursts by location, sorted by time.
+	warnsAt := map[machine.Location][]Incident{}
+	localWarns := 0
+	for _, w := range warns {
+		key, ok := locKey(w.Loc)
+		if !ok {
+			continue
+		}
+		warnsAt[key] = append(warnsAt[key], w)
+		localWarns++
+	}
+	res := &LeadTimeResult{WarnBursts: localWarns}
+
+	// Coverage: nearest WARN burst ending before the incident starts.
+	fatalsAt := map[machine.Location][]Incident{}
+	for _, f := range fatals {
+		key, ok := locKey(f.Loc)
+		if !ok {
+			continue
+		}
+		fatalsAt[key] = append(fatalsAt[key], f)
+		res.Incidents++
+		bursts := warnsAt[key]
+		// Bursts are time-sorted (events were); find the latest with
+		// First < f.First and First ≥ f.First − Lookback.
+		idx := sort.Search(len(bursts), func(i int) bool {
+			return !bursts[i].First.Before(f.First)
+		})
+		if idx == 0 {
+			continue
+		}
+		prev := bursts[idx-1]
+		lead := f.First.Sub(prev.First)
+		if lead > 0 && lead <= opt.Lookback {
+			res.WithPrecursor++
+			res.LeadHours = append(res.LeadHours, lead.Hours())
+		}
+	}
+	if res.Incidents > 0 {
+		res.Coverage = float64(res.WithPrecursor) / float64(res.Incidents)
+	}
+	if len(res.LeadHours) > 0 {
+		med, err := stats.Quantile(res.LeadHours, 0.5)
+		if err != nil {
+			return nil, fmt.Errorf("core: lead time median: %w", err)
+		}
+		res.MedianLeadH = med
+	}
+
+	// Precision: does a WARN burst actually precede a FATAL here?
+	for key, bursts := range warnsAt {
+		incidents := fatalsAt[key]
+		for _, b := range bursts {
+			idx := sort.Search(len(incidents), func(i int) bool {
+				return incidents[i].First.After(b.First)
+			})
+			if idx < len(incidents) && incidents[idx].First.Sub(b.First) <= opt.Lookback {
+				res.TrueAlarms++
+			}
+		}
+	}
+	if res.WarnBursts > 0 {
+		res.Precision = float64(res.TrueAlarms) / float64(res.WarnBursts)
+	}
+	return res, nil
+}

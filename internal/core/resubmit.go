@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/joblog"
+	"repro/internal/stats"
+)
+
+// ResubmitResult quantifies resubmission behaviour: how quickly users
+// resubmit after a failure, and how strongly outcomes repeat across a
+// user's consecutive jobs.
+type ResubmitResult struct {
+	// Transition matrix of consecutive same-user jobs:
+	// P(next fails | current fails) and P(next fails | current succeeds).
+	PFailAfterFail    float64
+	PFailAfterSuccess float64
+	// Lift = PFailAfterFail / overall failure rate: > 1 means failures
+	// cluster in time within a user's stream.
+	Lift float64
+	// Pairs counted per predecessor outcome.
+	PairsAfterFail    int
+	PairsAfterSuccess int
+	// Inter-submission gap (current submit → next submit) medians, hours.
+	MedianGapAfterFailH    float64
+	MedianGapAfterSuccessH float64
+	// FastResubmitShare is the fraction of post-failure gaps under one
+	// hour — the "fix one flag and resubmit" pattern.
+	FastResubmitShare float64
+}
+
+// Resubmission analyzes consecutive same-user jobs (ordered by submission)
+// for outcome repetition and resubmission latency.
+func (d *Dataset) Resubmission() (*ResubmitResult, error) {
+	byUser := map[string][]*joblog.Job{}
+	for i := range d.Jobs {
+		j := &d.Jobs[i]
+		byUser[j.User] = append(byUser[j.User], j)
+	}
+	res := &ResubmitResult{}
+	var failAfterFail, failAfterSuccess int
+	var gapsFail, gapsSuccess []float64
+	fastResubs, totalFailGaps := 0, 0
+	totalJobs, totalFailed := 0, 0
+	for _, jobs := range byUser {
+		sort.Slice(jobs, func(a, b int) bool {
+			if !jobs[a].Submit.Equal(jobs[b].Submit) {
+				return jobs[a].Submit.Before(jobs[b].Submit)
+			}
+			return jobs[a].ID < jobs[b].ID
+		})
+		for i, j := range jobs {
+			totalJobs++
+			if j.Outcome() == joblog.OutcomeFailure {
+				totalFailed++
+			}
+			if i == 0 {
+				continue
+			}
+			prev := jobs[i-1]
+			nextFails := j.Outcome() == joblog.OutcomeFailure
+			// Inter-submission time: robust to pipelined jobs whose next
+			// submission precedes the previous job's end.
+			gap := j.Submit.Sub(prev.Submit)
+			if prev.Outcome() == joblog.OutcomeFailure {
+				res.PairsAfterFail++
+				if nextFails {
+					failAfterFail++
+				}
+				gapsFail = append(gapsFail, gap.Hours())
+				totalFailGaps++
+				if gap < time.Hour {
+					fastResubs++
+				}
+			} else {
+				res.PairsAfterSuccess++
+				if nextFails {
+					failAfterSuccess++
+				}
+				gapsSuccess = append(gapsSuccess, gap.Hours())
+			}
+		}
+	}
+	if res.PairsAfterFail == 0 || res.PairsAfterSuccess == 0 {
+		return nil, fmt.Errorf("core: not enough consecutive job pairs (fail=%d success=%d)",
+			res.PairsAfterFail, res.PairsAfterSuccess)
+	}
+	res.PFailAfterFail = float64(failAfterFail) / float64(res.PairsAfterFail)
+	res.PFailAfterSuccess = float64(failAfterSuccess) / float64(res.PairsAfterSuccess)
+	overall := float64(totalFailed) / float64(totalJobs)
+	if overall > 0 {
+		res.Lift = res.PFailAfterFail / overall
+	}
+	var err error
+	if res.MedianGapAfterFailH, err = stats.Quantile(gapsFail, 0.5); err != nil {
+		return nil, err
+	}
+	if res.MedianGapAfterSuccessH, err = stats.Quantile(gapsSuccess, 0.5); err != nil {
+		return nil, err
+	}
+	if totalFailGaps > 0 {
+		res.FastResubmitShare = float64(fastResubs) / float64(totalFailGaps)
+	}
+	return res, nil
+}

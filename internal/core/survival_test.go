@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/joblog"
+	"repro/internal/stats"
+)
+
+func TestSurvivalScenario(t *testing.T) {
+	base := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(id int64, dur time.Duration, exit int) joblog.Job {
+		return joblog.Job{
+			ID: id, User: "u", Project: "p", Queue: "q",
+			Submit: base, Start: base, End: base.Add(dur),
+			WalltimeReq: 48 * time.Hour, Nodes: 512, RanksPerNode: 16, NumTasks: 1,
+			ExitStatus: exit,
+		}
+	}
+	jobs := []joblog.Job{
+		mk(1, 10*time.Minute, 1),                      // user failure at 600s
+		mk(2, time.Hour, 0),                           // success: censored at 3600s
+		mk(3, 2*time.Hour, joblog.ExitSystemReserved), // system kill: censored
+		mk(4, 3*time.Hour, 139),                       // user failure at 10800s
+	}
+	d, err := NewDataset(jobs, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Survival()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != 4 || res.Events != 2 || res.Censored != 2 {
+		t.Fatalf("counts = %+v", res)
+	}
+	// S(600) = 1 - 1/4 = 0.75; S(10800) = 0.75 * (1 - 1/1) = 0.
+	if got := stats.SurvivalAt(res.Curve, 600); got != 0.75 {
+		t.Errorf("S(600) = %v, want 0.75", got)
+	}
+	if got := stats.SurvivalAt(res.Curve, 10800); got != 0 {
+		t.Errorf("S(10800) = %v, want 0", got)
+	}
+	if res.Horizons[60] != 1 {
+		t.Errorf("S(60) = %v, want 1", res.Horizons[60])
+	}
+}
+
+func TestSurvivalOnCorpus(t *testing.T) {
+	d, c := dataset(t)
+	res, err := d.Survival()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != len(c.Jobs) {
+		t.Errorf("jobs = %d, want %d", res.Jobs, len(c.Jobs))
+	}
+	if res.Events+res.Censored != res.Jobs {
+		t.Error("events + censored != jobs")
+	}
+	// Monotone horizons.
+	prev := 1.0
+	for _, h := range []int{60, 600, 3600, 6 * 3600, 24 * 3600} {
+		s := res.Horizons[h]
+		if s > prev {
+			t.Fatalf("S not monotone at %ds: %v > %v", h, s, prev)
+		}
+		prev = s
+	}
+	// The injected Weibull(k<1) user-failure mix gives a decreasing hazard.
+	if !res.HazardDecreasing {
+		t.Error("infant mortality not detected")
+	}
+}
+
+func TestSurvivalAllSuccess(t *testing.T) {
+	base := time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC)
+	jobs := []joblog.Job{{
+		ID: 1, User: "u", Project: "p", Queue: "q",
+		Submit: base, Start: base, End: base.Add(time.Hour),
+		WalltimeReq: 2 * time.Hour, Nodes: 512, RanksPerNode: 16, NumTasks: 1,
+	}}
+	d, err := NewDataset(jobs, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Survival(); err == nil {
+		t.Error("all-censored corpus accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/joblog"
+	"repro/internal/raslog"
+)
+
+// TemporalProfile holds the hour-of-day / day-of-week / monthly activity
+// patterns of jobs and FATAL events (experiment E14).
+type TemporalProfile struct {
+	// JobsByHour / FailsByHour index 0..23 by submission hour (UTC).
+	JobsByHour  [24]int
+	FailsByHour [24]int
+	// JobsByWeekday / FailsByWeekday index time.Weekday (Sunday=0).
+	JobsByWeekday  [7]int
+	FailsByWeekday [7]int
+	// FatalByHour counts FATAL RAS events per hour of day.
+	FatalByHour [24]int
+	// Monthly series: year-month keys in chronological order.
+	Months       []string
+	JobsByMonth  []int
+	FailsByMonth []int
+	FatalByMonth []int
+	// JobsByDay is the daily submission series (index 0 = first day).
+	JobsByDay []int
+}
+
+// Temporal computes the activity/failure time patterns.
+func (d *Dataset) Temporal() *TemporalProfile {
+	p := &TemporalProfile{}
+	monthIdx := map[string]int{}
+	monthKey := func(t time.Time) int {
+		k := t.Format("2006-01")
+		idx, ok := monthIdx[k]
+		if !ok {
+			idx = len(p.Months)
+			monthIdx[k] = idx
+			p.Months = append(p.Months, k)
+			p.JobsByMonth = append(p.JobsByMonth, 0)
+			p.FailsByMonth = append(p.FailsByMonth, 0)
+			p.FatalByMonth = append(p.FatalByMonth, 0)
+		}
+		return idx
+	}
+	start, _ := d.Span()
+	dayOf := func(t time.Time) int {
+		day := int(t.Sub(start).Hours() / 24)
+		if day < 0 {
+			day = 0
+		}
+		return day
+	}
+	// Jobs/events arrive in time order in both logs, so months appear in
+	// chronological order without an extra sort.
+	for i := range d.Jobs {
+		j := &d.Jobs[i]
+		h := j.Submit.Hour()
+		w := j.Submit.Weekday()
+		m := monthKey(j.Submit)
+		day := dayOf(j.Submit)
+		for len(p.JobsByDay) <= day {
+			p.JobsByDay = append(p.JobsByDay, 0)
+		}
+		p.JobsByDay[day]++
+		p.JobsByHour[h]++
+		p.JobsByWeekday[w]++
+		p.JobsByMonth[m]++
+		if j.Outcome() == joblog.OutcomeFailure {
+			p.FailsByHour[h]++
+			p.FailsByWeekday[w]++
+			p.FailsByMonth[m]++
+		}
+	}
+	for i := range d.Events {
+		e := &d.Events[i]
+		if e.Sev != raslog.Fatal {
+			continue
+		}
+		p.FatalByHour[e.Time.Hour()]++
+		p.FatalByMonth[monthKey(e.Time)]++
+	}
+	return p
+}
+
+// FailRateByHour returns the per-hour job failure rate.
+func (p *TemporalProfile) FailRateByHour() [24]float64 {
+	var out [24]float64
+	for h := 0; h < 24; h++ {
+		if p.JobsByHour[h] > 0 {
+			out[h] = float64(p.FailsByHour[h]) / float64(p.JobsByHour[h])
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/joblog"
+)
+
+// WasteRow is the compute lost to one exit family.
+type WasteRow struct {
+	Family    joblog.ExitFamily
+	Jobs      int
+	CoreHours float64 // core-hours consumed by jobs that ended in this family
+	Share     float64 // fraction of all *wasted* core-hours
+}
+
+// WasteResult quantifies the compute cost of failures: how many core-hours
+// were consumed by jobs that produced no result, split by exit family and
+// by root cause.
+type WasteResult struct {
+	TotalCoreHours  float64 // all jobs
+	WastedCoreHours float64 // failed jobs only
+	WastedShare     float64 // wasted / total
+	UserCoreHours   float64 // wasted by user-caused failures
+	SystemCoreHours float64 // wasted by system-caused failures
+	ByFamily        []WasteRow
+}
+
+// Waste computes the failure-cost breakdown using a classification for the
+// user/system attribution.
+func (d *Dataset) Waste(cls *Classification) (*WasteResult, error) {
+	if cls == nil {
+		return nil, fmt.Errorf("core: waste needs a classification")
+	}
+	res := &WasteResult{}
+	byFam := map[joblog.ExitFamily]*WasteRow{}
+	for i := range d.Jobs {
+		j := &d.Jobs[i]
+		ch := j.CoreHours()
+		res.TotalCoreHours += ch
+		if j.Outcome() != joblog.OutcomeFailure {
+			continue
+		}
+		res.WastedCoreHours += ch
+		if cls.Causes[j.ID] == CauseSystem {
+			res.SystemCoreHours += ch
+		} else {
+			res.UserCoreHours += ch
+		}
+		fam := joblog.Family(j.ExitStatus)
+		row, ok := byFam[fam]
+		if !ok {
+			row = &WasteRow{Family: fam}
+			byFam[fam] = row
+		}
+		row.Jobs++
+		row.CoreHours += ch
+	}
+	if res.TotalCoreHours > 0 {
+		res.WastedShare = res.WastedCoreHours / res.TotalCoreHours
+	}
+	for _, row := range byFam {
+		if res.WastedCoreHours > 0 {
+			row.Share = row.CoreHours / res.WastedCoreHours
+		}
+		res.ByFamily = append(res.ByFamily, *row)
+	}
+	sort.Slice(res.ByFamily, func(i, j int) bool {
+		if res.ByFamily[i].CoreHours != res.ByFamily[j].CoreHours {
+			return res.ByFamily[i].CoreHours > res.ByFamily[j].CoreHours
+		}
+		return res.ByFamily[i].Family < res.ByFamily[j].Family
+	})
+	return res, nil
+}

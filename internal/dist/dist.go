@@ -1,0 +1,90 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Distribution is a continuous univariate probability law.
+//
+// All distributions in this package are immutable value types; methods never
+// mutate the receiver and are safe for concurrent use. Rand draws from the
+// provided source so callers control determinism.
+type Distribution interface {
+	// Name returns the family name, e.g. "weibull".
+	Name() string
+	// NumParams returns the number of free parameters (for AIC/BIC).
+	NumParams() int
+	// PDF returns the density at x (0 outside the support).
+	PDF(x float64) float64
+	// LogPDF returns ln PDF(x) (−Inf outside the support).
+	LogPDF(x float64) float64
+	// CDF returns P(X ≤ x).
+	CDF(x float64) float64
+	// Quantile returns the p-quantile for p in [0,1].
+	Quantile(p float64) float64
+	// Mean returns the expected value (may be +Inf, e.g. Pareto α ≤ 1).
+	Mean() float64
+	// Var returns the variance (may be +Inf).
+	Var() float64
+	// Rand draws one variate using rng.
+	Rand(rng *rand.Rand) float64
+}
+
+// Fitter estimates a distribution's parameters from data by maximum
+// likelihood.
+type Fitter interface {
+	// FamilyName returns the family this fitter estimates, e.g. "pareto".
+	FamilyName() string
+	// Fit returns the MLE distribution for the sample.
+	Fit(data []float64) (Distribution, error)
+}
+
+// LogLikelihood returns the sample log-likelihood Σ ln f(x_i) under d.
+func LogLikelihood(d Distribution, data []float64) float64 {
+	ll := 0.0
+	for _, x := range data {
+		ll += d.LogPDF(x)
+	}
+	return ll
+}
+
+// AIC returns the Akaike information criterion 2k − 2lnL for distribution d
+// on data; lower is better.
+func AIC(d Distribution, data []float64) float64 {
+	return 2*float64(d.NumParams()) - 2*LogLikelihood(d, data)
+}
+
+// BIC returns the Bayesian information criterion k·ln n − 2lnL; lower is
+// better.
+func BIC(d Distribution, data []float64) float64 {
+	n := float64(len(data))
+	return float64(d.NumParams())*math.Log(n) - 2*LogLikelihood(d, data)
+}
+
+// sampleMoments returns n, mean and (population) variance, validating that
+// every point is positive when positive is set.
+func sampleMoments(data []float64, positive bool) (n int, mean, variance float64, err error) {
+	if len(data) < 2 {
+		return 0, 0, 0, ErrTooFewPoints
+	}
+	sum := 0.0
+	for _, x := range data {
+		if positive && x <= 0 {
+			return 0, 0, 0, ErrBadSample
+		}
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0, 0, 0, ErrBadSample
+		}
+		sum += x
+	}
+	n = len(data)
+	mean = sum / float64(n)
+	ss := 0.0
+	for _, x := range data {
+		d := x - mean
+		ss += d * d
+	}
+	variance = ss / float64(n)
+	return n, mean, variance, nil
+}

@@ -1,0 +1,108 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KSPolish refines a fitted distribution by coordinate descent on the
+// one-sample KS statistic: each parameter is perturbed multiplicatively
+// (or additively when near zero) with a shrinking step until no move
+// improves the fit. This is the "KS-minimizing parameter search" baseline
+// the design contrasts against plain MLE — it usually buys a slightly
+// smaller KS at a much higher cost and with no likelihood guarantees.
+//
+// The data is sorted once; iters bounds the outer sweeps (0 means 40).
+func KSPolish(d Parametric, data []float64, iters int) (Distribution, float64, error) {
+	if len(data) == 0 {
+		return nil, 0, fmt.Errorf("dist: ks polish: %w", ErrTooFewPoints)
+	}
+	if iters <= 0 {
+		iters = 40
+	}
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+
+	best := Distribution(d)
+	bestKS := ksSorted(best, sorted)
+	params := d.Params()
+	step := 0.25 // 25% multiplicative perturbation, halved on stagnation
+
+	for sweep := 0; sweep < iters; sweep++ {
+		improved := false
+		for i := range params {
+			for _, dir := range []float64{1 + step, 1 / (1 + step)} {
+				cand := append([]float64(nil), params...)
+				if cand[i] == 0 {
+					cand[i] = dir - 1 // escape exact zero additively
+				} else {
+					cand[i] *= dir
+				}
+				nd, err := d.WithParams(cand)
+				if err != nil {
+					continue
+				}
+				if ks := ksSorted(nd, sorted); ks < bestKS {
+					bestKS = ks
+					best = nd
+					params = cand
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			step /= 2
+			if step < 1e-4 {
+				break
+			}
+		}
+	}
+	return best, bestKS, nil
+}
+
+// ksSorted is KSStatistic on pre-sorted data.
+func ksSorted(d Distribution, sorted []float64) float64 {
+	n := len(sorted)
+	maxD := 0.0
+	for i, x := range sorted {
+		f := d.CDF(x)
+		if lo := math.Abs(f - float64(i)/float64(n)); lo > maxD {
+			maxD = lo
+		}
+		if hi := math.Abs(float64(i+1)/float64(n) - f); hi > maxD {
+			maxD = hi
+		}
+	}
+	return maxD
+}
+
+// KSPolishFitter wraps a base MLE fitter and polishes its result by KS
+// coordinate descent. It satisfies Fitter, so it can be dropped into the
+// model-selection candidate set for the ablation.
+type KSPolishFitter struct {
+	Base  Fitter
+	Iters int
+}
+
+var _ Fitter = KSPolishFitter{}
+
+// FamilyName implements Fitter.
+func (f KSPolishFitter) FamilyName() string { return f.Base.FamilyName() + "+kspolish" }
+
+// Fit implements Fitter.
+func (f KSPolishFitter) Fit(data []float64) (Distribution, error) {
+	d, err := f.Base.Fit(data)
+	if err != nil {
+		return nil, err
+	}
+	p, ok := d.(Parametric)
+	if !ok {
+		return d, nil
+	}
+	polished, _, err := KSPolish(p, data, f.Iters)
+	if err != nil {
+		return nil, err
+	}
+	return polished, nil
+}

@@ -1,0 +1,197 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// LogNormal is the log-normal distribution: ln X ~ N(μ, σ²). A standard
+// candidate family for job runtimes and a competitor in the paper's model
+// selection.
+type LogNormal struct {
+	Mu    float64 // mean of ln X
+	Sigma float64 // std dev of ln X, > 0
+}
+
+var _ Distribution = LogNormal{}
+
+// NewLogNormal returns a log-normal distribution with the given log-scale
+// parameters.
+func NewLogNormal(mu, sigma float64) (LogNormal, error) {
+	if sigma <= 0 || math.IsNaN(mu) || math.IsNaN(sigma) {
+		return LogNormal{}, fmt.Errorf("dist: lognormal sigma %v must be positive", sigma)
+	}
+	return LogNormal{Mu: mu, Sigma: sigma}, nil
+}
+
+// Name implements Distribution.
+func (LogNormal) Name() string { return "lognormal" }
+
+// NumParams implements Distribution.
+func (LogNormal) NumParams() int { return 2 }
+
+// PDF implements Distribution.
+func (l LogNormal) PDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := (math.Log(x) - l.Mu) / l.Sigma
+	return math.Exp(-z*z/2) / (x * l.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// LogPDF implements Distribution.
+func (l LogNormal) LogPDF(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	z := (math.Log(x) - l.Mu) / l.Sigma
+	return -z*z/2 - math.Log(x*l.Sigma) - 0.5*math.Log(2*math.Pi)
+}
+
+// CDF implements Distribution.
+func (l LogNormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 0.5 * (1 + math.Erf((math.Log(x)-l.Mu)/(l.Sigma*math.Sqrt2)))
+}
+
+// Quantile implements Distribution.
+func (l LogNormal) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return math.Inf(1)
+	default:
+		return math.Exp(l.Mu + l.Sigma*math.Sqrt2*erfInv(2*p-1))
+	}
+}
+
+// Mean implements Distribution.
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// Var implements Distribution.
+func (l LogNormal) Var() float64 {
+	s2 := l.Sigma * l.Sigma
+	return (math.Exp(s2) - 1) * math.Exp(2*l.Mu+s2)
+}
+
+// Rand implements Distribution.
+func (l LogNormal) Rand(rng *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+}
+
+// LogNormalFitter estimates the log-normal law by MLE — the sample mean and
+// standard deviation of ln x.
+type LogNormalFitter struct{}
+
+var _ Fitter = LogNormalFitter{}
+
+// FamilyName implements Fitter.
+func (LogNormalFitter) FamilyName() string { return "lognormal" }
+
+// Fit implements Fitter.
+func (LogNormalFitter) Fit(data []float64) (Distribution, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("fit lognormal: %w", ErrTooFewPoints)
+	}
+	logs := make([]float64, len(data))
+	for i, x := range data {
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("fit lognormal: %w", ErrBadSample)
+		}
+		logs[i] = math.Log(x)
+	}
+	_, mu, variance, err := sampleMoments(logs, false)
+	if err != nil {
+		return nil, fmt.Errorf("fit lognormal: %w", err)
+	}
+	if variance <= 0 {
+		return nil, fmt.Errorf("fit lognormal: degenerate sample (all values equal)")
+	}
+	return NewLogNormal(mu, math.Sqrt(variance))
+}
+
+// Normal is the Gaussian distribution N(μ, σ²). Included to complete the
+// candidate set and for internal use (CLT-based approximations in tests).
+type Normal struct {
+	Mu    float64
+	Sigma float64 // > 0
+}
+
+var _ Distribution = Normal{}
+
+// NewNormal returns a normal distribution with the given mean and standard
+// deviation.
+func NewNormal(mu, sigma float64) (Normal, error) {
+	if sigma <= 0 || math.IsNaN(mu) || math.IsNaN(sigma) {
+		return Normal{}, fmt.Errorf("dist: normal sigma %v must be positive", sigma)
+	}
+	return Normal{Mu: mu, Sigma: sigma}, nil
+}
+
+// Name implements Distribution.
+func (Normal) Name() string { return "normal" }
+
+// NumParams implements Distribution.
+func (Normal) NumParams() int { return 2 }
+
+// PDF implements Distribution.
+func (n Normal) PDF(x float64) float64 {
+	z := (x - n.Mu) / n.Sigma
+	return math.Exp(-z*z/2) / (n.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// LogPDF implements Distribution.
+func (n Normal) LogPDF(x float64) float64 {
+	z := (x - n.Mu) / n.Sigma
+	return -z*z/2 - math.Log(n.Sigma) - 0.5*math.Log(2*math.Pi)
+}
+
+// CDF implements Distribution.
+func (n Normal) CDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf((x-n.Mu)/(n.Sigma*math.Sqrt2)))
+}
+
+// Quantile implements Distribution.
+func (n Normal) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return math.Inf(-1)
+	case p >= 1:
+		return math.Inf(1)
+	default:
+		return n.Mu + n.Sigma*math.Sqrt2*erfInv(2*p-1)
+	}
+}
+
+// Mean implements Distribution.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// Var implements Distribution.
+func (n Normal) Var() float64 { return n.Sigma * n.Sigma }
+
+// Rand implements Distribution.
+func (n Normal) Rand(rng *rand.Rand) float64 { return n.Mu + n.Sigma*rng.NormFloat64() }
+
+// NormalFitter estimates a Gaussian by MLE.
+type NormalFitter struct{}
+
+var _ Fitter = NormalFitter{}
+
+// FamilyName implements Fitter.
+func (NormalFitter) FamilyName() string { return "normal" }
+
+// Fit implements Fitter.
+func (NormalFitter) Fit(data []float64) (Distribution, error) {
+	_, mu, variance, err := sampleMoments(data, false)
+	if err != nil {
+		return nil, fmt.Errorf("fit normal: %w", err)
+	}
+	if variance <= 0 {
+		return nil, fmt.Errorf("fit normal: degenerate sample (all values equal)")
+	}
+	return NewNormal(mu, math.Sqrt(variance))
+}

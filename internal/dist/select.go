@@ -1,0 +1,168 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KSStatistic returns the one-sample Kolmogorov–Smirnov statistic
+// D_n = sup_x |F_n(x) − F(x)| between the empirical CDF of data and the
+// distribution d. The input need not be sorted.
+func KSStatistic(d Distribution, data []float64) float64 {
+	n := len(data)
+	if n == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, n)
+	copy(sorted, data)
+	sort.Float64s(sorted)
+	maxD := 0.0
+	for i, x := range sorted {
+		f := d.CDF(x)
+		lo := math.Abs(f - float64(i)/float64(n))
+		hi := math.Abs(float64(i+1)/float64(n) - f)
+		if lo > maxD {
+			maxD = lo
+		}
+		if hi > maxD {
+			maxD = hi
+		}
+	}
+	return maxD
+}
+
+// ADStatistic returns the Anderson–Darling statistic A² of the sample
+// against d. AD weights the tails more heavily than KS, so the two
+// statistics disagreeing flags a tail mismatch. Returns NaN for an empty
+// sample or +Inf when a point falls outside d's support (F = 0 or 1).
+func ADStatistic(d Distribution, data []float64) float64 {
+	n := len(data)
+	if n == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, n)
+	copy(sorted, data)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		fi := d.CDF(sorted[i])
+		fj := d.CDF(sorted[n-1-i])
+		if fi <= 0 || fj >= 1 {
+			return math.Inf(1)
+		}
+		sum += float64(2*i+1) * (math.Log(fi) + math.Log1p(-fj))
+	}
+	return -float64(n) - sum/float64(n)
+}
+
+// FitResult is the outcome of fitting one candidate family to a sample.
+type FitResult struct {
+	Family string       // family name, e.g. "weibull"
+	Dist   Distribution // the fitted distribution (nil if Err != nil)
+	KS     float64      // one-sample KS statistic
+	AD     float64      // Anderson–Darling A² (tail-sensitive check)
+	PValue float64      // asymptotic KS p-value
+	LogL   float64      // log-likelihood
+	AIC    float64
+	BIC    float64
+	Err    error // non-nil if the family could not be fitted
+}
+
+// DefaultFitters returns the candidate set the paper's model selection uses:
+// exponential, Erlang, gamma, Weibull, Pareto, lognormal, inverse Gaussian.
+func DefaultFitters() []Fitter {
+	return []Fitter{
+		ExponentialFitter{},
+		ErlangFitter{},
+		GammaFitter{},
+		WeibullFitter{},
+		ParetoFitter{},
+		LogNormalFitter{},
+		InverseGaussianFitter{},
+	}
+}
+
+// FitAll fits every candidate family to data and returns the results ranked
+// best-first by KS statistic (the paper's goodness-of-fit criterion), with
+// AIC as a tiebreaker. Families that fail to fit sort last and carry Err.
+func FitAll(data []float64, fitters []Fitter) []FitResult {
+	if len(fitters) == 0 {
+		fitters = DefaultFitters()
+	}
+	results := make([]FitResult, 0, len(fitters))
+	for _, f := range fitters {
+		r := FitResult{Family: f.FamilyName()}
+		d, err := f.Fit(data)
+		if err != nil {
+			r.Err = err
+			r.KS = math.Inf(1)
+			r.AD = math.Inf(1)
+			r.AIC = math.Inf(1)
+			r.BIC = math.Inf(1)
+			r.LogL = math.Inf(-1)
+		} else {
+			r.Dist = d
+			r.KS = KSStatistic(d, data)
+			r.AD = ADStatistic(d, data)
+			r.PValue = KolmogorovPValue(r.KS, len(data))
+			r.LogL = LogLikelihood(d, data)
+			r.AIC = AIC(d, data)
+			r.BIC = BIC(d, data)
+		}
+		results = append(results, r)
+	}
+	sort.SliceStable(results, func(i, j int) bool {
+		ri, rj := results[i], results[j]
+		if ri.Err != nil && rj.Err != nil {
+			return false
+		}
+		if ri.Err != nil {
+			return false
+		}
+		if rj.Err != nil {
+			return true
+		}
+		if ri.KS != rj.KS {
+			return ri.KS < rj.KS
+		}
+		return ri.AIC < rj.AIC
+	})
+	return results
+}
+
+// SelectBest fits every candidate family and returns the winner by KS
+// statistic. It errors only if no family fits.
+func SelectBest(data []float64, fitters []Fitter) (FitResult, error) {
+	results := FitAll(data, fitters)
+	if len(results) == 0 || results[0].Err != nil {
+		return FitResult{}, fmt.Errorf("dist: no candidate family fits the sample (n=%d)", len(data))
+	}
+	return results[0], nil
+}
+
+// ParamString formats a fitted distribution's parameters for reports.
+func ParamString(d Distribution) string {
+	switch v := d.(type) {
+	case Exponential:
+		return fmt.Sprintf("rate=%.4g", v.Rate)
+	case Weibull:
+		return fmt.Sprintf("shape=%.4g scale=%.4g", v.Shape, v.Scale)
+	case Pareto:
+		return fmt.Sprintf("xm=%.4g alpha=%.4g", v.Xm, v.Alpha)
+	case LogNormal:
+		return fmt.Sprintf("mu=%.4g sigma=%.4g", v.Mu, v.Sigma)
+	case Gamma:
+		return fmt.Sprintf("shape=%.4g rate=%.4g", v.Shape, v.Rate)
+	case Erlang:
+		return fmt.Sprintf("k=%d rate=%.4g", v.K, v.Rate)
+	case InverseGaussian:
+		return fmt.Sprintf("mu=%.4g lambda=%.4g", v.Mu, v.Lambda)
+	case Normal:
+		return fmt.Sprintf("mu=%.4g sigma=%.4g", v.Mu, v.Sigma)
+	case nil:
+		return "<nil>"
+	default:
+		return fmt.Sprintf("%v", d)
+	}
+}

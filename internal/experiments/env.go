@@ -1,0 +1,112 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (the E1–E15 index in DESIGN.md) from a synthetic corpus. Each
+// experiment returns renderable tables/figures plus a flat metric map that
+// EXPERIMENTS.md and the regression tests compare against the paper's
+// anchors.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// Env is the shared evaluation environment: one generated corpus and its
+// indexed dataset.
+type Env struct {
+	Cfg    sim.Config
+	Corpus *sim.Corpus
+	D      *core.Dataset
+}
+
+// NewEnv generates a corpus and indexes it.
+func NewEnv(cfg sim.Config) (*Env, error) {
+	c, err := sim.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	d, err := core.NewDataset(c.Jobs, c.Tasks, c.Events, c.IO)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return &Env{Cfg: cfg, Corpus: c, D: d}, nil
+}
+
+// Result is one experiment's regenerated artifact.
+type Result struct {
+	ID          string
+	Description string
+	Tables      []*report.Table
+	Figures     []*report.Figure
+	// Metrics is the flat key→value view used for paper-vs-measured
+	// comparison and the regression tests.
+	Metrics map[string]float64
+}
+
+// Experiment is a runnable table/figure regeneration.
+type Experiment struct {
+	ID          string
+	Description string
+	Run         func(*Env) (*Result, error)
+}
+
+// All lists every experiment in index order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "dataset summary (Table I)", E1},
+		{"E2", "workload concentration by user/project", E2},
+		{"E3", "job structure distributions", E3},
+		{"E4", "exit-status breakdown; user vs system share", E4},
+		{"E5", "execution-length CDFs by outcome", E5},
+		{"E6", "best-fit distributions per exit family", E6},
+		{"E7", "failure correlation with users/projects", E7},
+		{"E8", "failure rate vs job structure", E8},
+		{"E9", "RAS severity/category/component profile", E9},
+		{"E10", "spatial locality of FATAL events", E10},
+		{"E11", "similarity-filtering sensitivity sweep", E11},
+		{"E12", "MTTI and interruption-interval fit", E12},
+		{"E13", "I/O behavior vs job outcome", E13},
+		{"E14", "temporal patterns of jobs and failures", E14},
+		{"E15", "system interruptions vs user consumption", E15},
+		{"E16", "WARN→FATAL precursor lead-time analysis", E16},
+		{"E17", "queue wait and walltime-request accuracy", E17},
+		{"E18", "reliability over the system's life (bathtub)", E18},
+		{"E19", "compute cost of failures (wasted core-hours)", E19},
+		{"E20", "resubmission behaviour and outcome repetition", E20},
+		{"E21", "torus spatial correlation of incidents", E21},
+		{"E22", "availability and repair-time distribution", E22},
+		{"E23", "Kaplan–Meier survival of jobs vs user failure", E23},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// sortedMetricKeys returns the metric names in stable order for rendering.
+func sortedMetricKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// MetricsTable renders a result's metrics as a two-column table.
+func MetricsTable(r *Result) *report.Table {
+	t := &report.Table{Title: r.ID + " metrics", Columns: []string{"metric", "value"}}
+	for _, k := range sortedMetricKeys(r.Metrics) {
+		t.AddRow(k, r.Metrics[k])
+	}
+	return t
+}

@@ -1,0 +1,140 @@
+// Package iolog models the Darshan-style I/O behavior log of Mira: one
+// summary record per instrumented job with aggregate bytes moved, file
+// counts and time spent in I/O.
+package iolog
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Record is one job's I/O summary.
+type Record struct {
+	JobID        int64
+	BytesRead    int64
+	BytesWritten int64
+	FilesRead    int
+	FilesWritten int
+	MetaOps      int64         // metadata operations (open/stat/seek)
+	IOTime       time.Duration // cumulative time in I/O calls across ranks
+}
+
+// TotalBytes returns read+written bytes.
+func (r *Record) TotalBytes() int64 { return r.BytesRead + r.BytesWritten }
+
+// Validate performs sanity checks.
+func (r *Record) Validate() error {
+	switch {
+	case r.JobID <= 0:
+		return fmt.Errorf("iolog: record for job %d: non-positive job id", r.JobID)
+	case r.BytesRead < 0 || r.BytesWritten < 0:
+		return fmt.Errorf("iolog: job %d: negative byte counts", r.JobID)
+	case r.FilesRead < 0 || r.FilesWritten < 0 || r.MetaOps < 0:
+		return fmt.Errorf("iolog: job %d: negative counts", r.JobID)
+	case r.IOTime < 0:
+		return fmt.Errorf("iolog: job %d: negative io time", r.JobID)
+	}
+	return nil
+}
+
+var header = []string{
+	"job_id", "bytes_read", "bytes_written", "files_read", "files_written",
+	"meta_ops", "io_time_s",
+}
+
+// WriteCSV writes records to w, header first.
+func WriteCSV(w io.Writer, records []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("iolog: write header: %w", err)
+	}
+	row := make([]string, len(header))
+	for i := range records {
+		r := &records[i]
+		row[0] = strconv.FormatInt(r.JobID, 10)
+		row[1] = strconv.FormatInt(r.BytesRead, 10)
+		row[2] = strconv.FormatInt(r.BytesWritten, 10)
+		row[3] = strconv.Itoa(r.FilesRead)
+		row[4] = strconv.Itoa(r.FilesWritten)
+		row[5] = strconv.FormatInt(r.MetaOps, 10)
+		row[6] = strconv.FormatFloat(r.IOTime.Seconds(), 'f', 3, 64)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("iolog: write job %d: %w", r.JobID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads an I/O log written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	first, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("iolog: read header: %w", err)
+	}
+	if len(first) != len(header) || first[0] != header[0] {
+		return nil, fmt.Errorf("iolog: unexpected header %v", first)
+	}
+	var records []Record
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("iolog: line %d: %w", line, err)
+		}
+		rr, err := parseRow(rec)
+		if err != nil {
+			return nil, fmt.Errorf("iolog: line %d: %w", line, err)
+		}
+		records = append(records, rr)
+	}
+	return records, nil
+}
+
+func parseRow(rec []string) (Record, error) {
+	if len(rec) != len(header) {
+		return Record{}, fmt.Errorf("want %d fields, got %d", len(header), len(rec))
+	}
+	var r Record
+	var err error
+	if r.JobID, err = strconv.ParseInt(rec[0], 10, 64); err != nil {
+		return Record{}, fmt.Errorf("job_id: %w", err)
+	}
+	if r.BytesRead, err = strconv.ParseInt(rec[1], 10, 64); err != nil {
+		return Record{}, fmt.Errorf("bytes_read: %w", err)
+	}
+	if r.BytesWritten, err = strconv.ParseInt(rec[2], 10, 64); err != nil {
+		return Record{}, fmt.Errorf("bytes_written: %w", err)
+	}
+	if r.FilesRead, err = strconv.Atoi(rec[3]); err != nil {
+		return Record{}, fmt.Errorf("files_read: %w", err)
+	}
+	if r.FilesWritten, err = strconv.Atoi(rec[4]); err != nil {
+		return Record{}, fmt.Errorf("files_written: %w", err)
+	}
+	if r.MetaOps, err = strconv.ParseInt(rec[5], 10, 64); err != nil {
+		return Record{}, fmt.Errorf("meta_ops: %w", err)
+	}
+	secs, err := strconv.ParseFloat(rec[6], 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("io_time_s: %w", err)
+	}
+	r.IOTime = time.Duration(secs * float64(time.Second))
+	return r, nil
+}
+
+// ByJob indexes records by job ID.
+func ByJob(records []Record) map[int64]Record {
+	m := make(map[int64]Record, len(records))
+	for _, r := range records {
+		m[r.JobID] = r
+	}
+	return m
+}

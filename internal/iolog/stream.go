@@ -1,0 +1,60 @@
+package iolog
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// Scanner streams an I/O CSV log one record at a time.
+type Scanner struct {
+	cr   *csv.Reader
+	cur  Record
+	err  error
+	line int
+	done bool
+}
+
+// NewScanner validates the header and returns a streaming reader.
+func NewScanner(r io.Reader) (*Scanner, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	first, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("iolog: read header: %w", err)
+	}
+	if len(first) != len(header) || first[0] != header[0] {
+		return nil, fmt.Errorf("iolog: unexpected header %v", first)
+	}
+	return &Scanner{cr: cr, line: 1}, nil
+}
+
+// Scan advances to the next record; false at EOF or error (check Err).
+func (s *Scanner) Scan() bool {
+	if s.done || s.err != nil {
+		return false
+	}
+	s.line++
+	rec, err := s.cr.Read()
+	if err == io.EOF {
+		s.done = true
+		return false
+	}
+	if err != nil {
+		s.err = fmt.Errorf("iolog: line %d: %w", s.line, err)
+		return false
+	}
+	r, err := parseRow(rec)
+	if err != nil {
+		s.err = fmt.Errorf("iolog: line %d: %w", s.line, err)
+		return false
+	}
+	s.cur = r
+	return true
+}
+
+// Record returns the current record. Valid after a true Scan.
+func (s *Scanner) Record() Record { return s.cur }
+
+// Err returns the first error encountered, if any.
+func (s *Scanner) Err() error { return s.err }

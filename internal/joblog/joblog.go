@@ -1,0 +1,252 @@
+// Package joblog models the Cobalt-style job-scheduling log of Mira: one
+// record per job with submission/start/end times, user, project, queue,
+// size, mode and exit status. It provides the exit-status taxonomy the
+// paper's failure classification builds on, and CSV encode/decode for
+// corpus files.
+package joblog
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Exit statuses follow the POSIX shell convention: 0 is success, 1–127 are
+// program-chosen error codes, 128+n means "terminated by signal n". Cobalt
+// records the scheduler-visible status of the job script.
+const (
+	ExitSuccess        = 0   // clean completion
+	ExitGeneralError   = 1   // generic user-code error
+	ExitMisuse         = 2   // wrong invocation / misconfiguration
+	ExitIOError        = 5   // I/O failure reported by the application
+	ExitResourceError  = 12  // out-of-memory style resource exhaustion
+	ExitSigAbort       = 134 // 128+SIGABRT: assertion failure / abort()
+	ExitSigKill        = 137 // 128+SIGKILL: killed (walltime limit)
+	ExitSigSegv        = 139 // 128+SIGSEGV: segmentation fault
+	ExitSigTerm        = 143 // 128+SIGTERM: terminated (user delete)
+	ExitSystemReserved = 320 // scheduler-assigned: block failure (system)
+)
+
+// Outcome is the coarse job outcome derived from the exit status alone.
+type Outcome int
+
+// Outcome values.
+const (
+	OutcomeSuccess Outcome = iota + 1
+	OutcomeFailure
+)
+
+// String returns "success" or "failure".
+func (o Outcome) String() string {
+	if o == OutcomeSuccess {
+		return "success"
+	}
+	return "failure"
+}
+
+// Job is one record of the scheduling log.
+type Job struct {
+	ID           int64
+	User         string
+	Project      string
+	Queue        string
+	Submit       time.Time
+	Start        time.Time
+	End          time.Time
+	WalltimeReq  time.Duration // requested walltime
+	Nodes        int           // allocated compute nodes
+	RanksPerNode int           // BG/Q mode (c1..c64); cores used per node
+	NumTasks     int           // number of physical execution tasks (runs)
+	ExitStatus   int
+}
+
+// Runtime returns the wall-clock execution length of the job.
+func (j *Job) Runtime() time.Duration { return j.End.Sub(j.Start) }
+
+// QueueWait returns how long the job waited between submission and start.
+func (j *Job) QueueWait() time.Duration { return j.Start.Sub(j.Submit) }
+
+// CoreHours returns the consumed core-hours (nodes × 16 cores × runtime).
+func (j *Job) CoreHours() float64 {
+	return float64(j.Nodes) * 16 * j.Runtime().Hours()
+}
+
+// Outcome classifies the job by exit status.
+func (j *Job) Outcome() Outcome {
+	if j.ExitStatus == ExitSuccess {
+		return OutcomeSuccess
+	}
+	return OutcomeFailure
+}
+
+// ExitFamily groups exit statuses into the families the paper fits
+// distributions per (Table of best-fit laws per exit code).
+type ExitFamily string
+
+// Exit families.
+const (
+	FamilySuccess  ExitFamily = "success"
+	FamilyError    ExitFamily = "error"    // exit 1: generic runtime error
+	FamilyConfig   ExitFamily = "config"   // exit 2/5/12: misuse & resources
+	FamilyAbort    ExitFamily = "abort"    // SIGABRT
+	FamilyKilled   ExitFamily = "killed"   // SIGKILL (walltime)
+	FamilySegfault ExitFamily = "segfault" // SIGSEGV
+	FamilyTerm     ExitFamily = "term"     // SIGTERM (user delete)
+	FamilySystem   ExitFamily = "system"   // scheduler block failure
+	FamilyOther    ExitFamily = "other"
+)
+
+// Family maps an exit status to its family.
+func Family(exitStatus int) ExitFamily {
+	switch exitStatus {
+	case ExitSuccess:
+		return FamilySuccess
+	case ExitGeneralError:
+		return FamilyError
+	case ExitMisuse, ExitIOError, ExitResourceError:
+		return FamilyConfig
+	case ExitSigAbort:
+		return FamilyAbort
+	case ExitSigKill:
+		return FamilyKilled
+	case ExitSigSegv:
+		return FamilySegfault
+	case ExitSigTerm:
+		return FamilyTerm
+	case ExitSystemReserved:
+		return FamilySystem
+	default:
+		return FamilyOther
+	}
+}
+
+// FailureFamilies lists the non-success families in report order.
+func FailureFamilies() []ExitFamily {
+	return []ExitFamily{
+		FamilyError, FamilyConfig, FamilyAbort, FamilyKilled,
+		FamilySegfault, FamilyTerm, FamilySystem, FamilyOther,
+	}
+}
+
+// header is the CSV schema for job logs.
+var header = []string{
+	"job_id", "user", "project", "queue", "submit_unix", "start_unix",
+	"end_unix", "walltime_req_s", "nodes", "ranks_per_node", "num_tasks",
+	"exit_status",
+}
+
+// WriteCSV writes jobs to w in the package schema, header first.
+func WriteCSV(w io.Writer, jobs []Job) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("joblog: write header: %w", err)
+	}
+	row := make([]string, len(header))
+	for i := range jobs {
+		j := &jobs[i]
+		row[0] = strconv.FormatInt(j.ID, 10)
+		row[1] = j.User
+		row[2] = j.Project
+		row[3] = j.Queue
+		row[4] = strconv.FormatInt(j.Submit.Unix(), 10)
+		row[5] = strconv.FormatInt(j.Start.Unix(), 10)
+		row[6] = strconv.FormatInt(j.End.Unix(), 10)
+		row[7] = strconv.FormatInt(int64(j.WalltimeReq/time.Second), 10)
+		row[8] = strconv.Itoa(j.Nodes)
+		row[9] = strconv.Itoa(j.RanksPerNode)
+		row[10] = strconv.Itoa(j.NumTasks)
+		row[11] = strconv.Itoa(j.ExitStatus)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("joblog: write job %d: %w", j.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a job log written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Job, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	first, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("joblog: read header: %w", err)
+	}
+	if len(first) != len(header) || first[0] != header[0] {
+		return nil, fmt.Errorf("joblog: unexpected header %v", first)
+	}
+	var jobs []Job
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("joblog: line %d: %w", line, err)
+		}
+		j, err := parseRow(rec)
+		if err != nil {
+			return nil, fmt.Errorf("joblog: line %d: %w", line, err)
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}
+
+func parseRow(rec []string) (Job, error) {
+	if len(rec) != len(header) {
+		return Job{}, fmt.Errorf("want %d fields, got %d", len(header), len(rec))
+	}
+	var j Job
+	var err error
+	if j.ID, err = strconv.ParseInt(rec[0], 10, 64); err != nil {
+		return Job{}, fmt.Errorf("job_id: %w", err)
+	}
+	j.User, j.Project, j.Queue = rec[1], rec[2], rec[3]
+	ints := make([]int64, 0, 8)
+	for _, idx := range []int{4, 5, 6, 7} {
+		v, err := strconv.ParseInt(rec[idx], 10, 64)
+		if err != nil {
+			return Job{}, fmt.Errorf("%s: %w", header[idx], err)
+		}
+		ints = append(ints, v)
+	}
+	j.Submit = time.Unix(ints[0], 0).UTC()
+	j.Start = time.Unix(ints[1], 0).UTC()
+	j.End = time.Unix(ints[2], 0).UTC()
+	j.WalltimeReq = time.Duration(ints[3]) * time.Second
+	for _, f := range []struct {
+		idx int
+		dst *int
+	}{{8, &j.Nodes}, {9, &j.RanksPerNode}, {10, &j.NumTasks}, {11, &j.ExitStatus}} {
+		v, err := strconv.Atoi(rec[f.idx])
+		if err != nil {
+			return Job{}, fmt.Errorf("%s: %w", header[f.idx], err)
+		}
+		*f.dst = v
+	}
+	return j, nil
+}
+
+// Validate performs sanity checks used by tests and the generator.
+func (j *Job) Validate() error {
+	switch {
+	case j.ID <= 0:
+		return fmt.Errorf("joblog: job %d: non-positive id", j.ID)
+	case j.User == "" || j.Project == "":
+		return fmt.Errorf("joblog: job %d: missing user/project", j.ID)
+	case j.Start.Before(j.Submit):
+		return fmt.Errorf("joblog: job %d: starts before submit", j.ID)
+	case j.End.Before(j.Start):
+		return fmt.Errorf("joblog: job %d: ends before start", j.ID)
+	case j.Nodes <= 0:
+		return fmt.Errorf("joblog: job %d: non-positive nodes", j.ID)
+	case j.RanksPerNode <= 0:
+		return fmt.Errorf("joblog: job %d: non-positive ranks per node", j.ID)
+	case j.NumTasks <= 0:
+		return fmt.Errorf("joblog: job %d: non-positive tasks", j.ID)
+	}
+	return nil
+}

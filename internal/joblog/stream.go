@@ -1,0 +1,61 @@
+package joblog
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// Scanner streams a job CSV log one record at a time; the scheduler log of
+// a multi-year window need not fit in memory for single-pass analyses.
+type Scanner struct {
+	cr   *csv.Reader
+	cur  Job
+	err  error
+	line int
+	done bool
+}
+
+// NewScanner validates the header and returns a streaming reader.
+func NewScanner(r io.Reader) (*Scanner, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	first, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("joblog: read header: %w", err)
+	}
+	if len(first) != len(header) || first[0] != header[0] {
+		return nil, fmt.Errorf("joblog: unexpected header %v", first)
+	}
+	return &Scanner{cr: cr, line: 1}, nil
+}
+
+// Scan advances to the next job; false at EOF or error (check Err).
+func (s *Scanner) Scan() bool {
+	if s.done || s.err != nil {
+		return false
+	}
+	s.line++
+	rec, err := s.cr.Read()
+	if err == io.EOF {
+		s.done = true
+		return false
+	}
+	if err != nil {
+		s.err = fmt.Errorf("joblog: line %d: %w", s.line, err)
+		return false
+	}
+	j, err := parseRow(rec)
+	if err != nil {
+		s.err = fmt.Errorf("joblog: line %d: %w", s.line, err)
+		return false
+	}
+	s.cur = j
+	return true
+}
+
+// Job returns the current record. Valid after a true Scan.
+func (s *Scanner) Job() Job { return s.cur }
+
+// Err returns the first error encountered, if any.
+func (s *Scanner) Err() error { return s.err }

@@ -1,0 +1,256 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryConstants(t *testing.T) {
+	if TotalNodes != 49152 {
+		t.Errorf("TotalNodes = %d, want 49152", TotalNodes)
+	}
+	if TotalCores != 786432 {
+		t.Errorf("TotalCores = %d, want 786432", TotalCores)
+	}
+	if TotalMidplanes != 96 {
+		t.Errorf("TotalMidplanes = %d, want 96", TotalMidplanes)
+	}
+	if NodesPerMidplane != 512 {
+		t.Errorf("NodesPerMidplane = %d, want 512", NodesPerMidplane)
+	}
+}
+
+func TestLocationString(t *testing.T) {
+	tests := []struct {
+		name string
+		loc  func() (Location, error)
+		want string
+	}{
+		{"system", func() (Location, error) { return System(), nil }, "MIR"},
+		{"rack", func() (Location, error) { return Rack(17) }, "R17"},
+		{"midplane", func() (Location, error) { return Midplane(17, 0) }, "R17-M0"},
+		{"board", func() (Location, error) { return NodeBoard(17, 0, 6) }, "R17-M0-N06"},
+		{"node", func() (Location, error) { return Node(17, 0, 6, 11) }, "R17-M0-N06-J11"},
+		{"rack0", func() (Location, error) { return Rack(0) }, "R00"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			loc, err := tt.loc()
+			if err != nil {
+				t.Fatalf("constructor: %v", err)
+			}
+			if got := loc.String(); got != tt.want {
+				t.Errorf("String() = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseLocationRoundTrip(t *testing.T) {
+	codes := []string{"MIR", "R00", "R47", "R21-M1", "R00-M0-N15", "R47-M1-N00-J31"}
+	for _, code := range codes {
+		loc, err := ParseLocation(code)
+		if err != nil {
+			t.Fatalf("ParseLocation(%q): %v", code, err)
+		}
+		if got := loc.String(); got != code {
+			t.Errorf("round trip %q -> %q", code, got)
+		}
+	}
+}
+
+func TestParseLocationErrors(t *testing.T) {
+	bad := []string{
+		"", "X17", "R48", "R-1", "R17-M2", "R17-M0-N16", "R17-M0-N00-J32",
+		"R17-M0-N00-J00-K00", "17", "R17-N00", "Rxx",
+	}
+	for _, code := range bad {
+		if _, err := ParseLocation(code); err == nil {
+			t.Errorf("ParseLocation(%q) succeeded, want error", code)
+		}
+	}
+}
+
+func TestParseLocationPropertyRoundTrip(t *testing.T) {
+	f := func(rr, mm, nn, jj uint8, level uint8) bool {
+		r := int(rr) % NumRacks
+		m := int(mm) % MidplanesPerRack
+		n := int(nn) % NodeBoardsPerMid
+		j := int(jj) % NodesPerBoard
+		var loc Location
+		switch level % 4 {
+		case 0:
+			loc, _ = Rack(r)
+		case 1:
+			loc, _ = Midplane(r, m)
+		case 2:
+			loc, _ = NodeBoard(r, m, n)
+		default:
+			loc, _ = Node(r, m, n, j)
+		}
+		back, err := ParseLocation(loc.String())
+		return err == nil && back == loc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContains(t *testing.T) {
+	node, _ := Node(17, 0, 6, 11)
+	board, _ := NodeBoard(17, 0, 6)
+	mid, _ := Midplane(17, 0)
+	otherMid, _ := Midplane(17, 1)
+	rack, _ := Rack(17)
+	otherRack, _ := Rack(18)
+
+	if !System().Contains(node) {
+		t.Error("system should contain node")
+	}
+	if !rack.Contains(node) || !mid.Contains(node) || !board.Contains(node) {
+		t.Error("ancestors should contain node")
+	}
+	if !node.Contains(node) {
+		t.Error("node should contain itself")
+	}
+	if node.Contains(board) {
+		t.Error("node should not contain its board")
+	}
+	if otherMid.Contains(node) {
+		t.Error("sibling midplane should not contain node")
+	}
+	if otherRack.Contains(node) {
+		t.Error("other rack should not contain node")
+	}
+}
+
+func TestAncestor(t *testing.T) {
+	node, _ := Node(17, 1, 6, 11)
+	mid, err := node.Ancestor(LevelMidplane)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.String() != "R17-M1" {
+		t.Errorf("Ancestor(midplane) = %s, want R17-M1", mid)
+	}
+	rack, err := node.Ancestor(LevelRack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rack.String() != "R17" {
+		t.Errorf("Ancestor(rack) = %s, want R17", rack)
+	}
+	if _, err := rack.Ancestor(LevelNode); err == nil {
+		t.Error("refining rack to node should fail")
+	}
+	sys, err := node.Ancestor(LevelSystem)
+	if err != nil || sys != System() {
+		t.Errorf("Ancestor(system) = %v, %v", sys, err)
+	}
+}
+
+func TestMidplaneIDRoundTrip(t *testing.T) {
+	for id := 0; id < TotalMidplanes; id++ {
+		loc, err := MidplaneByID(id)
+		if err != nil {
+			t.Fatalf("MidplaneByID(%d): %v", id, err)
+		}
+		back, err := loc.MidplaneID()
+		if err != nil {
+			t.Fatalf("MidplaneID(%s): %v", loc, err)
+		}
+		if back != id {
+			t.Errorf("midplane id round trip %d -> %d", id, back)
+		}
+	}
+	if _, err := MidplaneByID(TotalMidplanes); err == nil {
+		t.Error("MidplaneByID out of range should fail")
+	}
+}
+
+func TestNodeIDRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		id := rng.Intn(TotalNodes)
+		loc, err := NodeByID(id)
+		if err != nil {
+			t.Fatalf("NodeByID(%d): %v", id, err)
+		}
+		back, err := loc.NodeID()
+		if err != nil {
+			t.Fatalf("NodeID: %v", err)
+		}
+		if back != id {
+			t.Errorf("node id round trip %d -> %d", id, back)
+		}
+	}
+	mid, _ := Midplane(0, 0)
+	if _, err := mid.NodeID(); err == nil {
+		t.Error("NodeID on midplane should fail")
+	}
+}
+
+func TestNodesCount(t *testing.T) {
+	rack, _ := Rack(3)
+	mid, _ := Midplane(3, 1)
+	board, _ := NodeBoard(3, 1, 2)
+	node, _ := Node(3, 1, 2, 9)
+	checks := []struct {
+		loc  Location
+		want int
+	}{
+		{System(), 49152}, {rack, 1024}, {mid, 512}, {board, 32}, {node, 1},
+	}
+	for _, c := range checks {
+		if got := c.loc.Nodes(); got != c.want {
+			t.Errorf("%s.Nodes() = %d, want %d", c.loc, got, c.want)
+		}
+	}
+}
+
+func TestFloorDistance(t *testing.T) {
+	a, _ := Rack(0)  // row 0, col 0
+	b, _ := Rack(17) // row 1, col 1
+	d, err := FloorDistance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Errorf("FloorDistance(R00,R17) = %d, want 2", d)
+	}
+	if d2, _ := FloorDistance(a, a); d2 != 0 {
+		t.Errorf("self distance = %d, want 0", d2)
+	}
+	if _, err := FloorDistance(System(), a); err == nil {
+		t.Error("FloorDistance with system location should fail")
+	}
+}
+
+func TestAllMidplanes(t *testing.T) {
+	mids := AllMidplanes()
+	if len(mids) != TotalMidplanes {
+		t.Fatalf("len = %d, want %d", len(mids), TotalMidplanes)
+	}
+	seen := map[string]bool{}
+	for _, m := range mids {
+		if m.Level() != LevelMidplane {
+			t.Errorf("%s is not a midplane", m)
+		}
+		if seen[m.String()] {
+			t.Errorf("duplicate midplane %s", m)
+		}
+		seen[m.String()] = true
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for l, want := range map[Level]string{
+		LevelSystem: "system", LevelRack: "rack", LevelMidplane: "midplane",
+		LevelNodeBoard: "node-board", LevelNode: "node", Level(99): "Level(99)",
+	} {
+		if got := l.String(); got != want {
+			t.Errorf("Level(%d).String() = %q, want %q", int(l), got, want)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package raslog models the Blue Gene/Q reliability, availability and
+// serviceability (RAS) event log: hardware- and system-software events with
+// a message ID, component, category, severity, timestamp and hardware
+// location, optionally attributed to a job.
+//
+// The message catalog is a representative reconstruction of the BG/Q RAS
+// taxonomy (the real IBM catalog has ~1,500 message IDs across the same
+// component/category axes).
+package raslog
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// Severity of a RAS event.
+type Severity int
+
+// Severities, ordered by increasing seriousness.
+const (
+	Info Severity = iota + 1
+	Warn
+	Fatal
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "INFO"
+	case Warn:
+		return "WARN"
+	case Fatal:
+		return "FATAL"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// ParseSeverity parses the string form produced by String.
+func ParseSeverity(s string) (Severity, error) {
+	switch s {
+	case "INFO":
+		return Info, nil
+	case "WARN":
+		return Warn, nil
+	case "FATAL":
+		return Fatal, nil
+	default:
+		return 0, fmt.Errorf("raslog: unknown severity %q", s)
+	}
+}
+
+// Category is the functional area an event belongs to.
+type Category string
+
+// Categories of RAS events.
+const (
+	CatMemory   Category = "Memory"   // DDR correctable/uncorrectable errors
+	CatNetwork  Category = "Network"  // 5D torus links, message unit
+	CatNode     Category = "Node"     // compute-node hardware (BQC chip)
+	CatIO       Category = "IO"       // I/O nodes, CIOS, file-system paths
+	CatSoftware Category = "Software" // kernel (CNK), control system
+	CatPower    Category = "Power"    // bulk power modules
+	CatCooling  Category = "Cooling"  // coolant monitors
+	CatInfra    Category = "Infra"    // service infrastructure (MMCS, DB)
+)
+
+// Component is the reporting subsystem.
+type Component string
+
+// Components reporting RAS events.
+const (
+	CompCNK   Component = "CNK"   // compute node kernel
+	CompMMCS  Component = "MMCS"  // control system
+	CompMC    Component = "MC"    // machine controller
+	CompDDR   Component = "DDR"   // memory controller
+	CompND    Component = "ND"    // network device (torus)
+	CompMU    Component = "MU"    // message unit
+	CompPCI   Component = "PCI"   // PCIe/I/O path
+	CompCIOS  Component = "CIOS"  // I/O services
+	CompBPM   Component = "BPM"   // bulk power module
+	CompCOOL  Component = "COOL"  // coolant monitor
+	CompBAREM Component = "BAREM" // bare-metal diagnostics
+)
+
+// Event is one RAS log record.
+type Event struct {
+	RecID   int64            // unique record id
+	MsgID   string           // message id, e.g. "000B0004"
+	Comp    Component        // reporting component
+	Cat     Category         // functional category
+	Sev     Severity         // INFO / WARN / FATAL
+	Time    time.Time        // event time
+	Loc     machine.Location // hardware location
+	JobID   int64            // associated job, 0 if none
+	Message string           // human-readable text
+	Count   int              // hardware-coalesced repetition count (≥1)
+}
+
+// Service-action message IDs: repairs are bracketed by a begin/end pair at
+// the affected midplane.
+const (
+	MsgServiceBegin = "00240001"
+	MsgServiceEnd   = "00240002"
+)
+
+// CatalogEntry describes one message ID in the reconstructed catalog.
+type CatalogEntry struct {
+	MsgID   string
+	Comp    Component
+	Cat     Category
+	Sev     Severity
+	Message string
+	// LocLevel is the hardware granularity this message reports at.
+	LocLevel machine.Level
+}
+
+// Catalog returns the reconstructed message catalog: a representative set
+// of BG/Q-style RAS messages spanning every component/category/severity
+// combination the analyses exercise.
+func Catalog() []CatalogEntry {
+	return []CatalogEntry{
+		// Memory.
+		{"00040001", CompDDR, CatMemory, Info, "DDR correctable error summary", machine.LevelNode},
+		{"00040002", CompDDR, CatMemory, Warn, "DDR correctable error threshold exceeded", machine.LevelNode},
+		{"00040003", CompDDR, CatMemory, Fatal, "DDR uncorrectable memory error", machine.LevelNode},
+		{"00040004", CompDDR, CatMemory, Fatal, "DDR controller initialization failure", machine.LevelNodeBoard},
+		// Network.
+		{"00080001", CompND, CatNetwork, Info, "torus link retraining", machine.LevelNodeBoard},
+		{"00080002", CompND, CatNetwork, Warn, "torus link CRC error rate high", machine.LevelNodeBoard},
+		{"00080003", CompND, CatNetwork, Fatal, "torus link failure", machine.LevelNodeBoard},
+		{"00080004", CompMU, CatNetwork, Fatal, "message unit ECC fatal", machine.LevelNode},
+		// Node hardware.
+		{"000C0001", CompBAREM, CatNode, Warn, "BQC chip temperature high", machine.LevelNode},
+		{"000C0002", CompBAREM, CatNode, Fatal, "BQC processor machine check", machine.LevelNode},
+		{"000C0003", CompMC, CatNode, Fatal, "node board voltage fault", machine.LevelNodeBoard},
+		// IO.
+		{"00100001", CompCIOS, CatIO, Info, "I/O node heartbeat delayed", machine.LevelRack},
+		{"00100002", CompCIOS, CatIO, Warn, "file-system path degraded", machine.LevelRack},
+		{"00100003", CompPCI, CatIO, Fatal, "PCIe adapter failure on I/O path", machine.LevelRack},
+		{"00100004", CompCIOS, CatIO, Fatal, "I/O node kernel panic", machine.LevelRack},
+		// Software.
+		{"00140001", CompCNK, CatSoftware, Info, "application RAS event", machine.LevelNode},
+		{"00140002", CompCNK, CatSoftware, Warn, "CNK detected stuck thread", machine.LevelNode},
+		{"00140003", CompCNK, CatSoftware, Fatal, "kernel internal assertion", machine.LevelNode},
+		{"00140004", CompMMCS, CatSoftware, Fatal, "control system lost contact with block", machine.LevelMidplane},
+		// Power.
+		{"00180001", CompBPM, CatPower, Warn, "bulk power module current imbalance", machine.LevelRack},
+		{"00180002", CompBPM, CatPower, Fatal, "bulk power module failure", machine.LevelRack},
+		// Cooling.
+		{"001C0001", CompCOOL, CatCooling, Warn, "coolant temperature above nominal", machine.LevelRack},
+		{"001C0002", CompCOOL, CatCooling, Fatal, "coolant flow loss", machine.LevelRack},
+		// Service actions (hardware repair windows). Begin/end pairs at the
+		// affected midplane let downtime be derived from the log alone.
+		{MsgServiceBegin, CompMMCS, CatInfra, Info, "service action begin", machine.LevelMidplane},
+		{MsgServiceEnd, CompMMCS, CatInfra, Info, "service action end", machine.LevelMidplane},
+		// Infrastructure.
+		{"00200001", CompMMCS, CatInfra, Info, "database reconnect", machine.LevelSystem},
+		{"00200002", CompMMCS, CatInfra, Warn, "service node load high", machine.LevelSystem},
+		{"00200003", CompMMCS, CatInfra, Fatal, "service node failover", machine.LevelSystem},
+	}
+}
+
+// CatalogByID returns the catalog indexed by message ID.
+func CatalogByID() map[string]CatalogEntry {
+	entries := Catalog()
+	m := make(map[string]CatalogEntry, len(entries))
+	for _, e := range entries {
+		m[e.MsgID] = e
+	}
+	return m
+}
+
+var header = []string{
+	"rec_id", "msg_id", "component", "category", "severity", "time_unix",
+	"location", "job_id", "count", "message",
+}
+
+// WriteCSV writes events to w, header first.
+func WriteCSV(w io.Writer, events []Event) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("raslog: write header: %w", err)
+	}
+	row := make([]string, len(header))
+	for i := range events {
+		e := &events[i]
+		row[0] = strconv.FormatInt(e.RecID, 10)
+		row[1] = e.MsgID
+		row[2] = string(e.Comp)
+		row[3] = string(e.Cat)
+		row[4] = e.Sev.String()
+		row[5] = strconv.FormatInt(e.Time.Unix(), 10)
+		row[6] = e.Loc.String()
+		row[7] = strconv.FormatInt(e.JobID, 10)
+		row[8] = strconv.Itoa(e.Count)
+		row[9] = e.Message
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("raslog: write event %d: %w", e.RecID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads an event log written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Event, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	first, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("raslog: read header: %w", err)
+	}
+	if len(first) != len(header) || first[0] != header[0] {
+		return nil, fmt.Errorf("raslog: unexpected header %v", first)
+	}
+	var events []Event
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("raslog: line %d: %w", line, err)
+		}
+		e, err := parseRow(rec)
+		if err != nil {
+			return nil, fmt.Errorf("raslog: line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	return events, nil
+}
+
+func parseRow(rec []string) (Event, error) {
+	if len(rec) != len(header) {
+		return Event{}, fmt.Errorf("want %d fields, got %d", len(header), len(rec))
+	}
+	var e Event
+	var err error
+	if e.RecID, err = strconv.ParseInt(rec[0], 10, 64); err != nil {
+		return Event{}, fmt.Errorf("rec_id: %w", err)
+	}
+	e.MsgID = rec[1]
+	e.Comp = Component(rec[2])
+	e.Cat = Category(rec[3])
+	if e.Sev, err = ParseSeverity(rec[4]); err != nil {
+		return Event{}, err
+	}
+	ts, err := strconv.ParseInt(rec[5], 10, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("time_unix: %w", err)
+	}
+	e.Time = time.Unix(ts, 0).UTC()
+	if e.Loc, err = machine.ParseLocation(rec[6]); err != nil {
+		return Event{}, err
+	}
+	if e.JobID, err = strconv.ParseInt(rec[7], 10, 64); err != nil {
+		return Event{}, fmt.Errorf("job_id: %w", err)
+	}
+	if e.Count, err = strconv.Atoi(rec[8]); err != nil {
+		return Event{}, fmt.Errorf("count: %w", err)
+	}
+	e.Message = rec[9]
+	return e, nil
+}

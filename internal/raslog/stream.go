@@ -1,0 +1,145 @@
+package raslog
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Scanner streams a RAS CSV log one event at a time without materializing
+// the whole slice — RAS logs are the largest of the four sources (the real
+// Mira log holds tens of millions of records), and most analyses are
+// single-pass.
+//
+// Usage:
+//
+//	sc, err := NewScanner(r)
+//	for sc.Scan() {
+//	    e := sc.Event()
+//	    ...
+//	}
+//	if err := sc.Err(); err != nil { ... }
+type Scanner struct {
+	cr   *csv.Reader
+	cur  Event
+	err  error
+	line int
+	done bool
+}
+
+// NewScanner validates the header and returns a streaming reader.
+func NewScanner(r io.Reader) (*Scanner, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	first, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("raslog: read header: %w", err)
+	}
+	if len(first) != len(header) || first[0] != header[0] {
+		return nil, fmt.Errorf("raslog: unexpected header %v", first)
+	}
+	return &Scanner{cr: cr, line: 1}, nil
+}
+
+// Scan advances to the next event. It returns false at EOF or on error;
+// check Err to distinguish.
+func (s *Scanner) Scan() bool {
+	if s.done || s.err != nil {
+		return false
+	}
+	s.line++
+	rec, err := s.cr.Read()
+	if err == io.EOF {
+		s.done = true
+		return false
+	}
+	if err != nil {
+		s.err = fmt.Errorf("raslog: line %d: %w", s.line, err)
+		return false
+	}
+	e, err := parseRow(rec)
+	if err != nil {
+		s.err = fmt.Errorf("raslog: line %d: %w", s.line, err)
+		return false
+	}
+	s.cur = e
+	return true
+}
+
+// Event returns the current event. Valid after a true Scan.
+func (s *Scanner) Event() Event { return s.cur }
+
+// Err returns the first error encountered, if any.
+func (s *Scanner) Err() error { return s.err }
+
+// Writer streams events out one at a time, the counterpart of Scanner for
+// generators that do not want to hold the full log in memory.
+type Writer struct {
+	cw  *csv.Writer
+	row []string
+	n   int
+}
+
+// NewWriter writes the header and returns a streaming writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return nil, fmt.Errorf("raslog: write header: %w", err)
+	}
+	return &Writer{cw: cw, row: make([]string, len(header))}, nil
+}
+
+// Write appends one event.
+func (w *Writer) Write(e *Event) error {
+	w.row[0] = strconv.FormatInt(e.RecID, 10)
+	w.row[1] = e.MsgID
+	w.row[2] = string(e.Comp)
+	w.row[3] = string(e.Cat)
+	w.row[4] = e.Sev.String()
+	w.row[5] = strconv.FormatInt(e.Time.Unix(), 10)
+	w.row[6] = e.Loc.String()
+	w.row[7] = strconv.FormatInt(e.JobID, 10)
+	w.row[8] = strconv.Itoa(e.Count)
+	w.row[9] = e.Message
+	if err := w.cw.Write(w.row); err != nil {
+		return fmt.Errorf("raslog: write event %d: %w", e.RecID, err)
+	}
+	w.n++
+	return nil
+}
+
+// Flush flushes buffered rows and reports any write error.
+func (w *Writer) Flush() error {
+	w.cw.Flush()
+	return w.cw.Error()
+}
+
+// Count returns how many events have been written.
+func (w *Writer) Count() int { return w.n }
+
+// CountBySeverityStreaming is a convenience single-pass aggregation used by
+// tools that must not slurp the log: it scans r and tallies severities and
+// the time range.
+func CountBySeverityStreaming(r io.Reader) (counts map[Severity]int, first, last time.Time, err error) {
+	sc, err := NewScanner(r)
+	if err != nil {
+		return nil, time.Time{}, time.Time{}, err
+	}
+	counts = map[Severity]int{}
+	for sc.Scan() {
+		e := sc.Event()
+		counts[e.Sev]++
+		if first.IsZero() || e.Time.Before(first) {
+			first = e.Time
+		}
+		if e.Time.After(last) {
+			last = e.Time
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, time.Time{}, time.Time{}, err
+	}
+	return counts, first, last, nil
+}

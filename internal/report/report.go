@@ -1,0 +1,206 @@
+// Package report renders analysis results as aligned ASCII tables, text
+// bar charts and CSV series — the forms in which the benchmark harness
+// regenerates the paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of string cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes are printed under the table (provenance, paper reference).
+	Notes []string
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatFloat(v)
+		case fmt.Stringer:
+			row[i] = v.String()
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// formatFloat renders floats compactly: integers without decimals, small
+// values with 4 significant digits.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 4, 64)
+}
+
+// Render writes the table to w as an aligned ASCII grid.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len([]rune(c))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		var row strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				row.WriteString("  ")
+			}
+			row.WriteString(pad(cell, widths[i]))
+		}
+		b.WriteString(strings.TrimRight(row.String(), " "))
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func pad(s string, w int) string {
+	n := w - len([]rune(s))
+	if n <= 0 {
+		return s
+	}
+	return s + strings.Repeat(" ", n)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.Render(&b); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+// WriteCSV writes the table as CSV (comma-separated, minimal quoting).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	writeCSVRow(&b, t.Columns)
+	for _, row := range t.Rows {
+		writeCSVRow(&b, row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteString(strconv.Quote(c))
+		} else {
+			b.WriteString(c)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// Series is a named (x, y) sequence — one curve of a figure.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Figure is a titled collection of series (one paper figure).
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// WriteCSV writes the figure in long form: series,x,y per row.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "series,%s,%s\n", csvEscape(f.XLabel), csvEscape(f.YLabel))
+	for _, s := range f.Series {
+		for i := range s.X {
+			fmt.Fprintf(&b, "%s,%s,%s\n", csvEscape(s.Name),
+				strconv.FormatFloat(s.X[i], 'g', 8, 64),
+				strconv.FormatFloat(s.Y[i], 'g', 8, 64))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+// Render draws the figure as aligned text: each series as a bar chart over
+// its x values (terminal-friendly stand-in for the paper's plots).
+func (f *Figure) Render(w io.Writer) error {
+	var b strings.Builder
+	if f.Title != "" {
+		fmt.Fprintf(&b, "%s\n", f.Title)
+	}
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  [%s]\n", s.Name)
+		maxY := 0.0
+		for _, y := range s.Y {
+			if y > maxY {
+				maxY = y
+			}
+		}
+		for i := range s.X {
+			barLen := 0
+			if maxY > 0 {
+				barLen = int(40 * s.Y[i] / maxY)
+			}
+			fmt.Fprintf(&b, "  %12s |%s %s\n", formatFloat(s.X[i]),
+				strings.Repeat("#", barLen), formatFloat(s.Y[i]))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the figure to a string.
+func (f *Figure) String() string {
+	var b strings.Builder
+	if err := f.Render(&b); err != nil {
+		return ""
+	}
+	return b.String()
+}

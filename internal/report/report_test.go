@@ -1,0 +1,104 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := Table{
+		Title:   "T1: demo",
+		Columns: []string{"name", "count", "rate"},
+		Notes:   []string{"synthetic"},
+	}
+	tab.AddRow("alpha", 12, 0.25)
+	tab.AddRow("beta-long-name", 3, 1.0)
+	out := tab.String()
+	if !strings.Contains(out, "T1: demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "beta-long-name") || !strings.Contains(out, "0.25") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	if !strings.Contains(out, "note: synthetic") {
+		t.Error("missing note")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + sep + 2 rows + note
+	if len(lines) != 6 {
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	// Header and separator aligned to the same width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("misaligned header/separator:\n%s", out)
+	}
+}
+
+func TestTableFloatsFormatting(t *testing.T) {
+	tab := Table{Columns: []string{"v"}}
+	tab.AddRow(3.0)
+	tab.AddRow(0.123456)
+	tab.AddRow(1234567.0)
+	out := tab.String()
+	if !strings.Contains(out, "3\n") {
+		t.Errorf("integer float should drop decimals:\n%s", out)
+	}
+	if !strings.Contains(out, "0.1235") {
+		t.Errorf("small float should use 4 significant digits:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := Table{Columns: []string{"a", "b"}}
+	tab.AddRow("x,y", 1)
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",1\n"
+	if b.String() != want {
+		t.Errorf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestFigureCSVAndRender(t *testing.T) {
+	f := Figure{
+		Title:  "F1: demo",
+		XLabel: "window",
+		YLabel: "count",
+		Series: []Series{
+			{Name: "filtered", X: []float64{1, 2, 3}, Y: []float64{30, 20, 10}},
+			{Name: "raw", X: []float64{1}, Y: []float64{100}},
+		},
+	}
+	var b strings.Builder
+	if err := f.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	csv := b.String()
+	if !strings.HasPrefix(csv, "series,window,count\n") {
+		t.Errorf("csv header: %q", csv)
+	}
+	if strings.Count(csv, "\n") != 5 {
+		t.Errorf("csv rows: %q", csv)
+	}
+	text := f.String()
+	if !strings.Contains(text, "[filtered]") || !strings.Contains(text, "#") {
+		t.Errorf("render: %s", text)
+	}
+	// Bars scale with max.
+	if !strings.Contains(text, strings.Repeat("#", 40)) {
+		t.Errorf("max bar should be 40 wide:\n%s", text)
+	}
+}
+
+func TestEmptyFigure(t *testing.T) {
+	f := Figure{Title: "empty"}
+	if s := f.String(); !strings.Contains(s, "empty") {
+		t.Errorf("empty figure render: %q", s)
+	}
+	var b strings.Builder
+	if err := f.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+}

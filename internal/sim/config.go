@@ -1,0 +1,149 @@
+// Package sim generates the synthetic 2001-day Mira corpus: the job
+// scheduling log, task execution log, RAS event log and I/O behavior log
+// the analyses consume.
+//
+// The real ALCF logs are proprietary; the simulator substitutes a
+// calibrated workload + fault model whose corpus-level statistics match the
+// paper's abstract anchors (observation span, total core-hours, failure
+// counts and shares, per-exit-code duration laws, RAS locality and burst
+// structure, and the ≈3.5-day mean time to interruption). See DESIGN.md §2.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// DefaultStart is the first day of the observed window (Mira's production
+// start, matching the paper's 2013-04-09 … 2018-09-30 span).
+var DefaultStart = time.Date(2013, 4, 9, 0, 0, 0, 0, time.UTC)
+
+// Config parameterizes corpus generation. The zero value is not valid; use
+// DefaultConfig or SmallConfig and override fields.
+type Config struct {
+	Seed  int64     // RNG seed; corpora are reproducible given (Seed, Config)
+	Start time.Time // first instant of the observation window
+	Days  int       // observation span in days (paper: 2001)
+
+	// Workload model.
+	NumUsers      int     // distinct users (paper-scale: ~900)
+	NumProjects   int     // distinct projects (~350)
+	JobsPerDay    float64 // mean arrival rate before diurnal modulation
+	WeekendFactor float64 // arrival multiplier on Sat/Sun
+	NightFactor   float64 // arrival multiplier 0:00–8:00
+	MeanFailProb  float64 // mean per-user probability a job fails for user reasons
+	Policy        sched.Policy
+
+	// Fault model.
+	IncidentsPerYear  float64       // fatal hardware incidents per 365 days
+	CascadeMeanEvents float64       // mean FATAL events per incident burst
+	CascadeWindow     time.Duration // span of one incident's event burst
+	NoisePerDay       float64       // background INFO/WARN RAS events per day
+	HotMidplanes      int           // midplanes with elevated hazard (locality)
+	HotHazardShare    float64       // fraction of incidents landing on hot midplanes
+	PrecursorProb     float64       // probability an incident emits WARN precursors
+	PrecursorLead     time.Duration // window before an incident its precursors land in
+	NeighborSpread    float64       // probability an incident propagates to a torus neighbor
+	RepairMedian      time.Duration // median service-action (repair) duration
+
+	// Resubmission model: probability a user-failed job is resubmitted
+	// (chains bounded at 3).
+	ResubmitProb float64
+
+	// MaxQueue caps the backlog: users stop submitting into a queue this
+	// deep (closed-loop workload elasticity). 0 disables throttling.
+	MaxQueue int
+
+	// I/O model.
+	IOSampling float64 // fraction of jobs with a Darshan record (0..1]
+}
+
+// Validate checks the configuration for obvious inconsistencies.
+func (c *Config) Validate() error {
+	switch {
+	case c.Days <= 0:
+		return fmt.Errorf("sim: days %d must be positive", c.Days)
+	case c.Start.IsZero():
+		return fmt.Errorf("sim: start time is zero")
+	case c.NumUsers <= 0 || c.NumProjects <= 0:
+		return fmt.Errorf("sim: users %d / projects %d must be positive", c.NumUsers, c.NumProjects)
+	case c.JobsPerDay <= 0:
+		return fmt.Errorf("sim: jobs per day %v must be positive", c.JobsPerDay)
+	case c.MeanFailProb <= 0 || c.MeanFailProb >= 1:
+		return fmt.Errorf("sim: mean fail prob %v must be in (0,1)", c.MeanFailProb)
+	case c.IncidentsPerYear < 0:
+		return fmt.Errorf("sim: incidents per year %v must be non-negative", c.IncidentsPerYear)
+	case c.CascadeMeanEvents < 1:
+		return fmt.Errorf("sim: cascade mean %v must be ≥ 1", c.CascadeMeanEvents)
+	case c.CascadeWindow <= 0:
+		return fmt.Errorf("sim: cascade window must be positive")
+	case c.HotMidplanes < 0 || c.HotMidplanes > 96:
+		return fmt.Errorf("sim: hot midplanes %d out of range", c.HotMidplanes)
+	case c.HotHazardShare < 0 || c.HotHazardShare > 1:
+		return fmt.Errorf("sim: hot hazard share %v out of [0,1]", c.HotHazardShare)
+	case c.PrecursorProb < 0 || c.PrecursorProb > 1:
+		return fmt.Errorf("sim: precursor prob %v out of [0,1]", c.PrecursorProb)
+	case c.PrecursorProb > 0 && c.PrecursorLead <= 0:
+		return fmt.Errorf("sim: precursor lead must be positive when precursors enabled")
+	case c.IncidentsPerYear > 0 && c.RepairMedian <= 0:
+		return fmt.Errorf("sim: repair median must be positive when incidents enabled")
+	case c.NeighborSpread < 0 || c.NeighborSpread > 1:
+		return fmt.Errorf("sim: neighbor spread %v out of [0,1]", c.NeighborSpread)
+	case c.ResubmitProb < 0 || c.ResubmitProb > 1:
+		return fmt.Errorf("sim: resubmit prob %v out of [0,1]", c.ResubmitProb)
+	case c.MaxQueue < 0:
+		return fmt.Errorf("sim: max queue %d must be non-negative", c.MaxQueue)
+	case c.IOSampling <= 0 || c.IOSampling > 1:
+		return fmt.Errorf("sim: io sampling %v out of (0,1]", c.IOSampling)
+	case c.Policy != sched.FCFS && c.Policy != sched.EASYBackfill:
+		return fmt.Errorf("sim: unknown policy %v", c.Policy)
+	}
+	return nil
+}
+
+// DefaultConfig is calibrated to the paper's anchors: 2001 days,
+// ≈32.4B core-hours, ≈99k user-dominated job failures, ≈570
+// job-interrupting incidents (MTTI ≈ 3.5 days).
+func DefaultConfig() Config {
+	return Config{
+		Seed:  1,
+		Start: DefaultStart,
+		Days:  2001,
+
+		NumUsers:      900,
+		NumProjects:   360,
+		JobsPerDay:    246,
+		WeekendFactor: 0.72,
+		NightFactor:   0.55,
+		MeanFailProb:  0.2145,
+		Policy:        sched.EASYBackfill,
+
+		IncidentsPerYear:  114, // ≈663 incidents over 2001 days; ~86% hit a job
+		CascadeMeanEvents: 22,
+		CascadeWindow:     8 * time.Minute,
+		NoisePerDay:       620,
+		HotMidplanes:      10,
+		HotHazardShare:    0.55,
+		PrecursorProb:     0.65,
+		PrecursorLead:     6 * time.Hour,
+		NeighborSpread:    0.15,
+		RepairMedian:      4 * time.Hour,
+
+		ResubmitProb: 0.55,
+		MaxQueue:     400,
+
+		IOSampling: 0.42,
+	}
+}
+
+// SmallConfig is a fast corpus for tests and examples: 30 days at the same
+// per-day rates.
+func SmallConfig() Config {
+	c := DefaultConfig()
+	c.Days = 30
+	c.NumUsers = 80
+	c.NumProjects = 30
+	return c
+}

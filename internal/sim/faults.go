@@ -1,0 +1,320 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/raslog"
+)
+
+// incident is one fatal hardware/system event that can interrupt the job
+// running on the affected hardware. Each incident later expands into a
+// burst ("cascade") of near-duplicate FATAL RAS records — the redundancy the
+// paper's similarity-based filtering removes.
+type incident struct {
+	at        time.Time
+	loc       machine.Location // root location (midplane granularity or coarser)
+	entry     raslog.CatalogEntry
+	events    int   // cascade size (≥ 1)
+	killedJob int64 // job interrupted by this incident (0 if hardware was idle)
+}
+
+// fatalCatalog returns the FATAL catalog entries that model job-killing
+// hardware incidents, excluding system-level infra messages that do not map
+// to a block.
+func fatalCatalog() []raslog.CatalogEntry {
+	var out []raslog.CatalogEntry
+	for _, e := range raslog.Catalog() {
+		if e.Sev == raslog.Fatal && e.LocLevel >= machine.LevelRack {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// hazardFactor shapes the incident rate over the system's life as a
+// bathtub curve: elevated during early-life burn-in, flat mid-life, and
+// slowly rising again toward end of life (wear-out). The factors average
+// ≈1 over a 2001-day span so the configured IncidentsPerYear stays the
+// corpus mean.
+func hazardFactor(cfg *Config, t time.Time) float64 {
+	days := t.Sub(cfg.Start).Hours() / 24
+	span := float64(cfg.Days)
+	// Burn-in: ×1.9 at day 0 decaying to baseline over ~180 days.
+	burnIn := 1 + 0.9*math.Exp(-days/90)
+	// Wear-out: up to +25% in the final quarter of a long deployment.
+	wearOut := 1.0
+	if span > 365 {
+		wearOut = 1 + 0.25*math.Max(0, (days-0.75*span)/(0.25*span))
+	}
+	// Normalization constant ≈ mean of burnIn over the span.
+	norm := 1 + 0.9*90/span*(1-math.Exp(-span/90)) + 0.25/8
+	return burnIn * wearOut / norm
+}
+
+// buildIncidents draws the fatal-incident timeline over the observation
+// window: a nonhomogeneous Poisson process in time (bathtub hazard, see
+// hazardFactor) with a spatially skewed location law (a few "hot"
+// midplanes absorb HotHazardShare of incidents, giving the strong locality
+// the paper reports).
+func buildIncidents(cfg *Config, rng *rand.Rand) []incident {
+	span := time.Duration(cfg.Days) * 24 * time.Hour
+	rate := cfg.IncidentsPerYear / (365 * 24 * float64(time.Hour/time.Second)) // per second
+	catalog := fatalCatalog()
+	if len(catalog) == 0 || rate <= 0 {
+		return nil
+	}
+
+	// Hot midplanes: the first HotMidplanes of a random permutation.
+	perm := rng.Perm(machine.TotalMidplanes)
+	hot := perm[:cfg.HotMidplanes]
+	cold := perm[cfg.HotMidplanes:]
+
+	// Thinning envelope: hazardFactor is bounded by 2.2/norm ≤ 2.2.
+	const maxFactor = 2.2
+	var incidents []incident
+	t := cfg.Start
+	for {
+		// Exponential inter-arrival at the envelope rate, thinned to the
+		// bathtub intensity.
+		gap := time.Duration(rng.ExpFloat64() / (rate * maxFactor) * float64(time.Second))
+		t = t.Add(gap)
+		if t.After(cfg.Start.Add(span)) {
+			break
+		}
+		if rng.Float64() > hazardFactor(cfg, t)/maxFactor {
+			continue
+		}
+		entry := catalog[rng.Intn(len(catalog))]
+		var midID int
+		if len(hot) > 0 && rng.Float64() < cfg.HotHazardShare {
+			midID = hot[rng.Intn(len(hot))]
+		} else {
+			midID = cold[rng.Intn(len(cold))]
+		}
+		loc, err := machine.MidplaneByID(midID)
+		if err != nil {
+			continue
+		}
+		// Rack-level messages (power, cooling, I/O path) report at the rack.
+		if entry.LocLevel == machine.LevelRack {
+			loc, _ = loc.Ancestor(machine.LevelRack)
+		}
+		// Cascade size: geometric-ish heavy tail with the configured mean.
+		n := 1 + int(rng.ExpFloat64()*(cfg.CascadeMeanEvents-1))
+		if n > 400 {
+			n = 400
+		}
+		incidents = append(incidents, incident{at: t, loc: loc, entry: entry, events: n})
+	}
+	// Propagation: some incidents spread along torus cables to a neighbor
+	// midplane shortly afterwards (link-chip and cable failures touch both
+	// endpoints). This is the signal the spatial-correlation analysis E21
+	// detects as "close in time ⇒ close on the torus".
+	base := len(incidents)
+	for i := 0; i < base; i++ {
+		inc := &incidents[i]
+		if rng.Float64() >= cfg.NeighborSpread {
+			continue
+		}
+		midID, ok := machine.TorusMidplaneID(inc.loc)
+		if !ok {
+			continue
+		}
+		neighbors, err := machine.TorusNeighbors(midID)
+		if err != nil || len(neighbors) == 0 {
+			continue
+		}
+		nloc, err := machine.MidplaneByID(neighbors[rng.Intn(len(neighbors))])
+		if err != nil {
+			continue
+		}
+		entry := inc.entry
+		if entry.LocLevel == machine.LevelRack {
+			nloc, _ = nloc.Ancestor(machine.LevelRack)
+		}
+		delay := time.Duration(1+rng.Intn(29)) * time.Minute
+		n := 1 + inc.events/2
+		incidents = append(incidents, incident{at: inc.at.Add(delay), loc: nloc, entry: entry, events: n})
+	}
+	sort.Slice(incidents, func(i, j int) bool { return incidents[i].at.Before(incidents[j].at) })
+	return incidents
+}
+
+// warnPrecursorFor returns the WARN catalog entry of the incident's
+// category, if one exists — degrading hardware usually warns before it
+// dies (correctable-error thresholds, CRC rates, temperatures).
+func warnPrecursorFor(cat raslog.Category) (raslog.CatalogEntry, bool) {
+	for _, e := range raslog.Catalog() {
+		if e.Sev == raslog.Warn && e.Cat == cat {
+			return e, true
+		}
+	}
+	return raslog.CatalogEntry{}, false
+}
+
+// expandIncident renders one incident into its burst of FATAL events, plus
+// (with probability PrecursorProb) a handful of WARN precursors on the same
+// hardware in the PrecursorLead window before the incident — the signal the
+// lead-time analysis (E16) mines.
+func expandIncident(cfg *Config, rng *rand.Rand, inc *incident, recID *int64) []raslog.Event {
+	events := make([]raslog.Event, 0, inc.events)
+	if warnEntry, ok := warnPrecursorFor(inc.entry.Cat); ok && rng.Float64() < cfg.PrecursorProb {
+		n := 1 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			lead := time.Duration((0.05 + 0.95*rng.Float64()) * float64(cfg.PrecursorLead))
+			if inc.at.Add(-lead).Before(cfg.Start) {
+				lead = inc.at.Sub(cfg.Start) / 2
+			}
+			*recID++
+			events = append(events, raslog.Event{
+				RecID:   *recID,
+				MsgID:   warnEntry.MsgID,
+				Comp:    warnEntry.Comp,
+				Cat:     warnEntry.Cat,
+				Sev:     raslog.Warn,
+				Time:    inc.at.Add(-lead),
+				Loc:     jitterLocation(rng, inc.loc, warnEntry.LocLevel),
+				Message: warnEntry.Message,
+				Count:   1 + rng.Intn(8),
+			})
+		}
+	}
+	for i := 0; i < inc.events; i++ {
+		at := inc.at
+		if i > 0 {
+			at = at.Add(time.Duration(rng.Float64() * float64(cfg.CascadeWindow)))
+		}
+		loc := jitterLocation(rng, inc.loc, inc.entry.LocLevel)
+		*recID++
+		events = append(events, raslog.Event{
+			RecID:   *recID,
+			MsgID:   inc.entry.MsgID,
+			Comp:    inc.entry.Comp,
+			Cat:     inc.entry.Cat,
+			Sev:     raslog.Fatal,
+			Time:    at,
+			Loc:     loc,
+			JobID:   inc.killedJob,
+			Message: inc.entry.Message,
+			Count:   1 + rng.Intn(3),
+		})
+	}
+	return events
+}
+
+// jitterLocation refines a root location down to the catalog entry's
+// reporting level, choosing random child hardware. Cascade events from one
+// incident therefore share a midplane/rack but differ at board/node level —
+// exactly the near-duplicate structure similarity filtering coalesces.
+func jitterLocation(rng *rand.Rand, root machine.Location, level machine.Level) machine.Location {
+	r := root.RackIndex()
+	m := root.MidplaneOrdinal()
+	if root.Level() == machine.LevelRack {
+		m = rng.Intn(machine.MidplanesPerRack)
+	}
+	switch level {
+	case machine.LevelSystem, machine.LevelRack:
+		loc, err := machine.Rack(r)
+		if err != nil {
+			return machine.System()
+		}
+		return loc
+	case machine.LevelMidplane:
+		loc, err := machine.Midplane(r, m)
+		if err != nil {
+			return machine.System()
+		}
+		return loc
+	case machine.LevelNodeBoard:
+		loc, err := machine.NodeBoard(r, m, rng.Intn(machine.NodeBoardsPerMid))
+		if err != nil {
+			return machine.System()
+		}
+		return loc
+	default:
+		loc, err := machine.Node(r, m, rng.Intn(machine.NodeBoardsPerMid), rng.Intn(machine.NodesPerBoard))
+		if err != nil {
+			return machine.System()
+		}
+		return loc
+	}
+}
+
+// buildNoise generates the background INFO/WARN RAS stream (plus FATAL
+// infra messages that never kill jobs) uniformly over the window with
+// mildly skewed locations.
+func buildNoise(cfg *Config, rng *rand.Rand, recID *int64) []raslog.Event {
+	// Noise is overwhelmingly informational; warnings are a minority and
+	// FATAL infra messages (service-node failover etc.) are rare, matching
+	// the severity mix of production RAS streams.
+	var entries []raslog.CatalogEntry
+	var cum []float64
+	totalW := 0.0
+	for _, e := range raslog.Catalog() {
+		var w float64
+		switch {
+		case e.MsgID == raslog.MsgServiceBegin || e.MsgID == raslog.MsgServiceEnd:
+			continue // emitted only by the repair process, never as noise
+		case e.Sev == raslog.Info:
+			w = 1.0
+		case e.Sev == raslog.Warn:
+			w = 0.3
+		case e.LocLevel == machine.LevelSystem:
+			w = 0.001 // FATAL infra noise: a handful per year
+		default:
+			continue // localized FATALs come from the incident process
+		}
+		entries = append(entries, e)
+		totalW += w
+		cum = append(cum, totalW)
+	}
+	pick := func() raslog.CatalogEntry {
+		r := rng.Float64() * totalW
+		for i, c := range cum {
+			if r <= c {
+				return entries[i]
+			}
+		}
+		return entries[len(entries)-1]
+	}
+	total := int(cfg.NoisePerDay * float64(cfg.Days))
+	span := float64(cfg.Days) * 24 * float64(time.Hour)
+	events := make([]raslog.Event, 0, total)
+	for i := 0; i < total; i++ {
+		entry := pick()
+		at := cfg.Start.Add(time.Duration(rng.Float64() * span))
+		var loc machine.Location
+		if entry.LocLevel == machine.LevelSystem {
+			loc = machine.System()
+		} else {
+			// Mild spatial skew for noise too: square the uniform to favor
+			// low midplane IDs (where packing places most jobs).
+			id := int(math.Floor(rng.Float64() * rng.Float64() * machine.TotalMidplanes))
+			if id >= machine.TotalMidplanes {
+				id = machine.TotalMidplanes - 1
+			}
+			mid, err := machine.MidplaneByID(id)
+			if err != nil {
+				continue
+			}
+			loc = jitterLocation(rng, mid, entry.LocLevel)
+		}
+		*recID++
+		events = append(events, raslog.Event{
+			RecID:   *recID,
+			MsgID:   entry.MsgID,
+			Comp:    entry.Comp,
+			Cat:     entry.Cat,
+			Sev:     entry.Sev,
+			Time:    at,
+			Loc:     loc,
+			Message: entry.Message,
+			Count:   1,
+		})
+	}
+	return events
+}

@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dist"
+	"repro/internal/joblog"
+)
+
+// scaleClass buckets users by the size of jobs they typically run.
+type scaleClass int
+
+const (
+	scaleSmall scaleClass = iota
+	scaleMedium
+	scaleLarge
+)
+
+// blockSizes are the schedulable job sizes in nodes.
+var blockSizes = []int{512, 1024, 2048, 4096, 8192, 16384, 32768, 49152}
+
+// sizeWeights gives the per-class probability of each block size. The mix
+// reproduces the capability-machine skew of Mira: small blocks are the most
+// frequent jobs while large blocks dominate core-hours.
+var sizeWeights = map[scaleClass][]float64{
+	scaleSmall:  {0.52, 0.26, 0.14, 0.06, 0.02, 0, 0, 0},
+	scaleMedium: {0.18, 0.22, 0.26, 0.18, 0.10, 0.05, 0.01, 0},
+	scaleLarge:  {0.04, 0.08, 0.16, 0.22, 0.24, 0.16, 0.08, 0.02},
+}
+
+// failureMixBase is the global probability of each user-failure family
+// among failed jobs. Per-user mixes are Dirichlet perturbations of it.
+var failureMixBase = []struct {
+	family joblog.ExitFamily
+	exit   int
+	weight float64
+}{
+	{joblog.FamilyError, joblog.ExitGeneralError, 0.34},
+	{joblog.FamilyConfig, joblog.ExitMisuse, 0.18},
+	{joblog.FamilyKilled, joblog.ExitSigKill, 0.16},
+	{joblog.FamilyAbort, joblog.ExitSigAbort, 0.12},
+	{joblog.FamilySegfault, joblog.ExitSigSegv, 0.12},
+	{joblog.FamilyTerm, joblog.ExitSigTerm, 0.08},
+}
+
+// DurationLaws returns the ground-truth execution-length law injected for
+// each user-failure exit family — the paper's best-fit families (Weibull,
+// Pareto, inverse Gaussian, Erlang/exponential). Experiment E6 must recover
+// these from the corpus.
+func DurationLaws() map[joblog.ExitFamily]dist.Distribution {
+	weibull, err := dist.NewWeibull(0.62, 2100)
+	if err != nil {
+		panic(err)
+	}
+	expo, err := dist.NewExponential(1.0 / 950)
+	if err != nil {
+		panic(err)
+	}
+	erlang, err := dist.NewErlang(3, 3.0/5400)
+	if err != nil {
+		panic(err)
+	}
+	invg, err := dist.NewInverseGaussian(10800, 32000)
+	if err != nil {
+		panic(err)
+	}
+	pareto, err := dist.NewPareto(45, 1.25)
+	if err != nil {
+		panic(err)
+	}
+	lnorm, err := dist.NewLogNormal(8.0, 1.05)
+	if err != nil {
+		panic(err)
+	}
+	return map[joblog.ExitFamily]dist.Distribution{
+		joblog.FamilyError:    weibull, // infant mortality: crash soon after start
+		joblog.FamilyConfig:   expo,    // misconfiguration: memoryless
+		joblog.FamilyAbort:    erlang,  // staged assertion failures
+		joblog.FamilyKilled:   invg,    // walltime-style kills cluster at a mode
+		joblog.FamilySegfault: pareto,  // heavy tail: long runs that finally fault
+		joblog.FamilyTerm:     lnorm,   // user deletes
+	}
+}
+
+// user is one synthetic user profile.
+type user struct {
+	name     string
+	project  string
+	weight   float64 // activity weight (Zipf-like)
+	failProb float64 // per-job probability of a user-caused failure
+	class    scaleClass
+	// failCum is the cumulative distribution over failureMixBase entries.
+	failCum []float64
+	// walltimeMu is the per-user median of ln(requested walltime seconds).
+	walltimeMu float64
+	// ioScale multiplies the project's I/O volume profile.
+	ioScale float64
+}
+
+// population is the generated user/project universe.
+type population struct {
+	users   []user
+	userCum []float64 // cumulative activity weights for sampling
+}
+
+// buildPopulation creates cfg.NumUsers users over cfg.NumProjects projects
+// with Zipf activity, lognormal-perturbed failure propensities and a
+// size-class mix.
+func buildPopulation(cfg *Config, rng *rand.Rand) *population {
+	p := &population{users: make([]user, cfg.NumUsers)}
+	totalW := 0.0
+	for i := range p.users {
+		u := &p.users[i]
+		u.name = fmt.Sprintf("u%04d", i+1)
+		u.project = fmt.Sprintf("prj%03d", rng.Intn(cfg.NumProjects)+1)
+		// Zipf-ish activity: weight ∝ 1/rank^0.85, shuffled by the random
+		// project assignment above so rank order is not id order.
+		u.weight = 1 / math.Pow(float64(i+1), 0.85)
+		// Per-user failure propensity: lognormal spread around the mean,
+		// clamped to keep probabilities sane. Some users are very buggy
+		// (propensity near 0.9), many rarely fail.
+		u.failProb = clamp(cfg.MeanFailProb*math.Exp(0.85*rng.NormFloat64()-0.36), 0.01, 0.92)
+		switch r := rng.Float64(); {
+		case r < 0.45:
+			u.class = scaleSmall
+		case r < 0.85:
+			u.class = scaleMedium
+		default:
+			u.class = scaleLarge
+		}
+		u.failCum = dirichletCum(rng, 9)
+		u.walltimeMu = math.Log(4450) + 0.5*rng.NormFloat64() + float64(u.class)*0.45
+		u.ioScale = math.Exp(0.9 * rng.NormFloat64())
+		totalW += u.weight
+	}
+	p.userCum = make([]float64, len(p.users))
+	cum := 0.0
+	for i := range p.users {
+		cum += p.users[i].weight / totalW
+		p.userCum[i] = cum
+	}
+	p.userCum[len(p.userCum)-1] = 1
+	return p
+}
+
+// dirichletCum draws a Dirichlet perturbation of failureMixBase with
+// concentration alpha and returns its cumulative distribution.
+func dirichletCum(rng *rand.Rand, alpha float64) []float64 {
+	raw := make([]float64, len(failureMixBase))
+	total := 0.0
+	for i, f := range failureMixBase {
+		g, err := dist.NewGamma(alpha*f.weight*float64(len(failureMixBase)), 1)
+		if err != nil {
+			panic(err)
+		}
+		raw[i] = g.Rand(rng)
+		total += raw[i]
+	}
+	cum := make([]float64, len(raw))
+	c := 0.0
+	for i, v := range raw {
+		c += v / total
+		cum[i] = c
+	}
+	cum[len(cum)-1] = 1
+	return cum
+}
+
+// pickUser samples a user index by activity weight.
+func (p *population) pickUser(rng *rand.Rand) *user {
+	r := rng.Float64()
+	lo, hi := 0, len(p.userCum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.userCum[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return &p.users[lo]
+}
+
+// pickFailure samples an exit family + status from the user's failure mix.
+func (u *user) pickFailure(rng *rand.Rand) (joblog.ExitFamily, int) {
+	r := rng.Float64()
+	for i, c := range u.failCum {
+		if r <= c {
+			return failureMixBase[i].family, failureMixBase[i].exit
+		}
+	}
+	last := failureMixBase[len(failureMixBase)-1]
+	return last.family, last.exit
+}
+
+// pickSize samples a block size in nodes from the user's class mix.
+func (u *user) pickSize(rng *rand.Rand) int {
+	w := sizeWeights[u.class]
+	r := rng.Float64()
+	cum := 0.0
+	for i, v := range w {
+		cum += v
+		if r <= cum {
+			return blockSizes[i]
+		}
+	}
+	return blockSizes[0]
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

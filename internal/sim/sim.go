@@ -1,0 +1,548 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/iolog"
+	"repro/internal/joblog"
+	"repro/internal/machine"
+	"repro/internal/raslog"
+	"repro/internal/sched"
+	"repro/internal/tasklog"
+)
+
+// Corpus is a complete synthetic observation window: the four logs plus the
+// generator's ground truth for validation.
+type Corpus struct {
+	Config Config
+	Jobs   []joblog.Job
+	Tasks  []tasklog.Task
+	Events []raslog.Event
+	IO     []iolog.Record
+	Truth  GroundTruth
+}
+
+// GroundTruth records what the generator actually injected, so tests and
+// EXPERIMENTS.md can compare analysis output against reality.
+type GroundTruth struct {
+	Incidents        int // fatal incidents injected
+	KillingIncidents int // incidents that interrupted ≥1 job
+	SystemKilledJobs int // jobs ended by an incident
+	UserFailedJobs   int // jobs ended by a user-caused failure
+	SucceededJobs    int // jobs that completed cleanly
+	DroppedArrivals  int // submissions never started inside the window
+	Throttled        int // arrivals suppressed by queue-depth back-pressure
+	Resubmissions    int // jobs created by resubmitting a failed job
+	Repairs          int // service actions performed after incidents
+	// RepairMidplaneHours is the total out-of-service time summed over
+	// midplanes.
+	RepairMidplaneHours float64
+}
+
+// jobPlan is a job's pre-drawn fate: size, walltime, natural duration and
+// natural exit status. The incident timeline may override the ending.
+type jobPlan struct {
+	id       int64
+	u        *user
+	submit   time.Time
+	nodes    int
+	ranks    int
+	walltime time.Duration
+	duration time.Duration
+	exit     int
+	tasks    int
+	chain    int   // resubmission depth (0 = fresh submission)
+	resubOf  int64 // id of the failed job this resubmits (0 = none)
+}
+
+// runState tracks a started job.
+type runState struct {
+	plan  *jobPlan
+	block machine.Block
+	start time.Time
+}
+
+// Event kinds for the simulation heap.
+const (
+	evArrival = iota + 1
+	evCompletion
+	evIncident
+	evRepairEnd
+)
+
+type simEvent struct {
+	at   time.Time
+	kind int
+	seq  int64 // deterministic tiebreak
+	idx  int   // arrival/incident index
+	job  int64 // completion job id
+}
+
+type eventHeap []simEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(simEvent)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// Generate produces a corpus from the configuration. The same (Config,
+// Seed) always yields the identical corpus.
+func Generate(cfg Config) (*Corpus, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Independent sub-streams per generation phase keep the phases
+	// decoupled: tuning the workload does not perturb the fault timeline
+	// and vice versa.
+	subRNG := func(salt int64) *rand.Rand {
+		return rand.New(rand.NewSource(cfg.Seed<<20 ^ salt))
+	}
+	pop := buildPopulation(&cfg, subRNG(1))
+	laws := DurationLaws()
+
+	plans := buildArrivals(&cfg, pop, laws, subRNG(2))
+	incidents := buildIncidents(&cfg, subRNG(3))
+	rng := subRNG(4) // tasks + I/O records during the loop
+	noiseRNG := subRNG(5)
+	cascadeRNG := subRNG(6)
+
+	c := &Corpus{Config: cfg}
+	c.Truth.Incidents = len(incidents)
+
+	end := cfg.Start.Add(time.Duration(cfg.Days) * 24 * time.Hour)
+	s := sched.New(cfg.Policy)
+
+	var h eventHeap
+	var seq int64
+	push := func(at time.Time, kind, idx int, job int64) {
+		seq++
+		heap.Push(&h, simEvent{at: at, kind: kind, seq: seq, idx: idx, job: job})
+	}
+	for i := range plans {
+		push(plans[i].submit, evArrival, 0, plans[i].id)
+	}
+	for i := range incidents {
+		push(incidents[i].at, evIncident, i, 0)
+	}
+
+	planByID := make(map[int64]*jobPlan, len(plans))
+	nextID := int64(0)
+	for i := range plans {
+		planByID[plans[i].id] = &plans[i]
+		if plans[i].id > nextID {
+			nextID = plans[i].id
+		}
+	}
+	running := make(map[int64]*runState)
+	var taskID int64
+
+	// Service actions: each incident takes its midplanes out of service for
+	// a lognormal repair window, bracketed by begin/end RAS records so the
+	// availability analysis can recover downtime from the log alone.
+	type repair struct {
+		marked []int
+		end    time.Time
+	}
+	var repairs []repair
+	var serviceEvents []raslog.Event
+
+	finalize := func(r *runState, endAt time.Time, exit int, now time.Time) error {
+		p := r.plan
+		job := joblog.Job{
+			ID: p.id, User: p.u.name, Project: p.u.project, Queue: queueFor(p.nodes),
+			Submit: p.submit, Start: r.start, End: endAt,
+			WalltimeReq: p.walltime, Nodes: p.nodes, RanksPerNode: p.ranks,
+			NumTasks: p.tasks, ExitStatus: exit,
+		}
+		c.Jobs = append(c.Jobs, job)
+		c.Tasks = append(c.Tasks, makeTasks(rng, &taskID, &job, r.block)...)
+		if rng.Float64() < cfg.IOSampling {
+			c.IO = append(c.IO, makeIO(rng, &job, p.u))
+		}
+		if err := s.Complete(p.id); err != nil {
+			return err
+		}
+		delete(running, p.id)
+		// Failed work comes back: users resubmit user-failed jobs after a
+		// short think time, up to a bounded chain — the resubmission
+		// behaviour the E20 analysis measures.
+		if exit != joblog.ExitSuccess && exit != joblog.ExitSystemReserved &&
+			p.chain < maxResubChain && rng.Float64() < cfg.ResubmitProb {
+			delay := time.Duration(math.Exp(math.Log(480)+0.9*rng.NormFloat64())) * time.Second
+			if at := endAt.Add(delay); at.Before(end) {
+				nextID++
+				resub := *p
+				resub.id = nextID
+				resub.chain = p.chain + 1
+				resub.resubOf = p.id
+				resub.submit = at
+				drawFate(&cfg, p.u, laws, rng, &resub)
+				planByID[resub.id] = &resub
+				c.Truth.Resubmissions++
+				push(at, evArrival, 0, resub.id)
+			}
+		}
+		return nil
+	}
+
+	trySchedule := func(now time.Time) {
+		if now.After(end) {
+			return
+		}
+		for _, d := range s.Schedule(now) {
+			p := planByID[d.JobID]
+			r := &runState{plan: p, block: d.Block, start: now}
+			running[p.id] = r
+			push(now.Add(p.duration), evCompletion, 0, p.id)
+		}
+	}
+
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(simEvent)
+		now := e.at
+		switch e.kind {
+		case evArrival:
+			p := planByID[e.job]
+			if now.After(end) {
+				c.Truth.DroppedArrivals++
+				continue
+			}
+			// Closed-loop elasticity: users seeing a deep backlog hold
+			// their submissions, so the queue (and with it the waiting
+			// time) stays bounded even at saturation.
+			if cfg.MaxQueue > 0 && s.QueueLen() >= cfg.MaxQueue {
+				c.Truth.Throttled++
+				continue
+			}
+			if err := s.Submit(p.id, p.nodes, p.walltime, now); err != nil {
+				return nil, fmt.Errorf("sim: %w", err)
+			}
+			trySchedule(now)
+		case evIncident:
+			inc := &incidents[e.idx]
+			killed := 0
+			// Deterministic victim order: ascending job id.
+			ids := make([]int64, 0, 4)
+			for id, r := range running {
+				if r.block.ContainsLocation(inc.loc) {
+					ids = append(ids, id)
+				}
+			}
+			sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+			for _, id := range ids {
+				r := running[id]
+				if inc.killedJob == 0 {
+					inc.killedJob = id
+				}
+				if err := finalize(r, now, joblog.ExitSystemReserved, now); err != nil {
+					return nil, fmt.Errorf("sim: %w", err)
+				}
+				killed++
+			}
+			if killed > 0 {
+				c.Truth.KillingIncidents++
+				c.Truth.SystemKilledJobs += killed
+			}
+			// Begin the service action: the incident's midplanes leave
+			// service until the repair completes.
+			if mids := incidentMidplanes(inc.loc); len(mids) > 0 {
+				dur := time.Duration(math.Exp(math.Log(cfg.RepairMedian.Hours())+0.8*rng.NormFloat64())*3600) * time.Second
+				if dur < 10*time.Minute {
+					dur = 10 * time.Minute
+				}
+				marked := s.MarkDown(mids)
+				if len(marked) > 0 {
+					r := repair{marked: marked, end: now.Add(dur)}
+					repairs = append(repairs, r)
+					c.Truth.Repairs++
+					c.Truth.RepairMidplaneHours += dur.Hours() * float64(len(marked))
+					for _, id := range marked {
+						loc, err := machine.MidplaneByID(id)
+						if err != nil {
+							continue
+						}
+						serviceEvents = append(serviceEvents,
+							serviceEvent(raslog.MsgServiceBegin, now.Add(30*time.Second), loc),
+							serviceEvent(raslog.MsgServiceEnd, r.end, loc))
+					}
+					push(r.end, evRepairEnd, len(repairs)-1, 0)
+				}
+			}
+			trySchedule(now)
+		case evRepairEnd:
+			if err := s.MarkUp(repairs[e.idx].marked); err != nil {
+				return nil, fmt.Errorf("sim: %w", err)
+			}
+			trySchedule(now)
+		case evCompletion:
+			r, ok := running[e.job]
+			if !ok {
+				continue // job was killed by an incident; stale event
+			}
+			if err := finalize(r, now, r.plan.exit, now); err != nil {
+				return nil, fmt.Errorf("sim: %w", err)
+			}
+			trySchedule(now)
+		}
+	}
+
+	for _, j := range c.Jobs {
+		switch {
+		case j.ExitStatus == joblog.ExitSuccess:
+			c.Truth.SucceededJobs++
+		case j.ExitStatus == joblog.ExitSystemReserved:
+			// counted during the loop
+		default:
+			c.Truth.UserFailedJobs++
+		}
+	}
+
+	// Render the RAS stream: incident cascades (with job attribution fixed
+	// during the loop) plus background noise, sorted by time.
+	var recID int64
+	events := buildNoise(&cfg, noiseRNG, &recID)
+	for i := range incidents {
+		events = append(events, expandIncident(&cfg, cascadeRNG, &incidents[i], &recID)...)
+	}
+	events = append(events, serviceEvents...)
+	sort.Slice(events, func(i, j int) bool {
+		if !events[i].Time.Equal(events[j].Time) {
+			return events[i].Time.Before(events[j].Time)
+		}
+		return events[i].RecID < events[j].RecID
+	})
+	for i := range events {
+		events[i].RecID = int64(i + 1)
+	}
+	c.Events = events
+
+	sort.Slice(c.Jobs, func(i, j int) bool { return c.Jobs[i].ID < c.Jobs[j].ID })
+	sort.Slice(c.Tasks, func(i, j int) bool { return c.Tasks[i].ID < c.Tasks[j].ID })
+	sort.Slice(c.IO, func(i, j int) bool { return c.IO[i].JobID < c.IO[j].JobID })
+	return c, nil
+}
+
+// buildArrivals draws the submission stream: a nonhomogeneous Poisson
+// process (diurnal + weekly modulation) with per-user job fates.
+func buildArrivals(cfg *Config, pop *population, laws map[joblog.ExitFamily]dist.Distribution, rng *rand.Rand) []jobPlan {
+	baseRate := cfg.JobsPerDay / (24 * 3600) // per second at factor 1
+	maxFactor := 1.0
+	end := cfg.Start.Add(time.Duration(cfg.Days) * 24 * time.Hour)
+	var plans []jobPlan
+	var id int64
+	t := cfg.Start
+	for {
+		// Thinning with the max-rate envelope.
+		gap := rng.ExpFloat64() / (baseRate * maxFactor)
+		t = t.Add(time.Duration(gap * float64(time.Second)))
+		if !t.Before(end) {
+			break
+		}
+		if rng.Float64() > arrivalFactor(cfg, t)/maxFactor {
+			continue
+		}
+		id++
+		plans = append(plans, drawJob(cfg, pop, laws, rng, id, t))
+	}
+	return plans
+}
+
+// arrivalFactor modulates the arrival rate by hour of day and weekday.
+func arrivalFactor(cfg *Config, t time.Time) float64 {
+	f := 1.0
+	if h := t.Hour(); h < 8 {
+		f *= cfg.NightFactor
+	}
+	if wd := t.Weekday(); wd == time.Saturday || wd == time.Sunday {
+		f *= cfg.WeekendFactor
+	}
+	return f
+}
+
+// drawJob draws one job's user, size, walltime, natural duration and exit.
+func drawJob(cfg *Config, pop *population, laws map[joblog.ExitFamily]dist.Distribution, rng *rand.Rand, id int64, submit time.Time) jobPlan {
+	u := pop.pickUser(rng)
+	p := jobPlan{id: id, u: u, submit: submit, nodes: u.pickSize(rng), ranks: pickRanks(rng)}
+	p.tasks = 1
+	for rng.Float64() < 0.35 && p.tasks < 12 {
+		p.tasks++
+	}
+	drawFate(cfg, u, laws, rng, &p)
+	return p
+}
+
+// drawFate draws (or redraws, for a resubmission) a job's walltime,
+// natural duration and exit status given its structure. Failure
+// probability grows with execution structure, as the paper observes:
+// larger allocations expose scale bugs, and multi-task scripts multiply
+// the chances that one run trips.
+func drawFate(cfg *Config, u *user, laws map[joblog.ExitFamily]dist.Distribution, rng *rand.Rand, p *jobPlan) {
+	walltime := math.Exp(u.walltimeMu + 0.6*rng.NormFloat64())
+	walltime = clamp(walltime, 600, 86400)
+	scaleBoost := 1 + 0.40*math.Log2(float64(p.nodes)/512)/6.5
+	taskBoost := 1 + 0.06*float64(p.tasks-1)
+	failProb := clamp(u.failProb*scaleBoost*taskBoost, 0.01, 0.95)
+	if rng.Float64() < failProb {
+		family, exit := u.pickFailure(rng)
+		d := laws[family].Rand(rng)
+		d = clamp(d, 1, 86400)
+		p.duration = time.Duration(math.Round(d)) * time.Second
+		p.exit = exit
+		if need := 1.1 * d; walltime < need {
+			walltime = need
+		}
+	} else {
+		frac := 0.35 + 0.6*math.Pow(rng.Float64(), 0.8)
+		p.duration = time.Duration(math.Round(walltime*frac)) * time.Second
+		p.exit = joblog.ExitSuccess
+	}
+	if p.duration < time.Second {
+		p.duration = time.Second
+	}
+	p.walltime = time.Duration(math.Round(walltime)) * time.Second
+}
+
+// pickRanks draws the BG/Q execution mode (ranks per node).
+func pickRanks(rng *rand.Rand) int {
+	switch r := rng.Float64(); {
+	case r < 0.70:
+		return 16
+	case r < 0.85:
+		return 32
+	case r < 0.93:
+		return 8
+	case r < 0.98:
+		return 64
+	default:
+		return 4
+	}
+}
+
+// queueFor names the submission queue by job size, Mira-style.
+func queueFor(nodes int) string {
+	switch {
+	case nodes >= 8192:
+		return "prod-capability"
+	case nodes >= 4096:
+		return "prod-long"
+	default:
+		return "prod-short"
+	}
+}
+
+// makeTasks splits a job's execution into its physical runs: contiguous
+// segments on the job's block; the final run carries the job's exit status.
+func makeTasks(rng *rand.Rand, taskID *int64, j *joblog.Job, block machine.Block) []tasklog.Task {
+	n := j.NumTasks
+	total := j.End.Sub(j.Start)
+	if total <= 0 {
+		n = 1
+	}
+	// Random cut points produce uneven task lengths, like real run scripts.
+	cuts := make([]float64, 0, n+1)
+	cuts = append(cuts, 0)
+	for i := 0; i < n-1; i++ {
+		cuts = append(cuts, rng.Float64())
+	}
+	cuts = append(cuts, 1)
+	sort.Float64s(cuts)
+	tasks := make([]tasklog.Task, 0, n)
+	for i := 0; i < n; i++ {
+		*taskID++
+		start := j.Start.Add(time.Duration(cuts[i] * float64(total)))
+		end := j.Start.Add(time.Duration(cuts[i+1] * float64(total)))
+		exit := 0
+		if i == n-1 {
+			exit = j.ExitStatus
+		}
+		tasks = append(tasks, tasklog.Task{
+			ID: *taskID, JobID: j.ID, Block: block,
+			Start: start, End: end, Nodes: j.Nodes, ExitStatus: exit,
+		})
+	}
+	return tasks
+}
+
+// makeIO draws a Darshan-style record for the job. Volume scales sublinearly
+// with core-hours and is cut by early termination, so failed jobs move less
+// data — the correlation experiment E13 measures exactly this.
+func makeIO(rng *rand.Rand, j *joblog.Job, u *user) iolog.Record {
+	ch := j.CoreHours()
+	if ch < 1 {
+		ch = 1
+	}
+	scale := math.Pow(ch/1e4, 0.6) * u.ioScale
+	total := math.Exp(math.Log(2e9)+1.3*rng.NormFloat64()) * scale
+	if j.ExitStatus != joblog.ExitSuccess {
+		// Interrupted work: proportional to the fraction of walltime used.
+		frac := float64(j.Runtime()) / float64(j.WalltimeReq)
+		total *= clamp(frac, 0.02, 1)
+	}
+	readFrac := clamp(0.15+0.5*rng.Float64(), 0, 1)
+	read := total * readFrac
+	written := total - read
+	bw := 0.5e9 + 4.5e9*rng.Float64() // aggregate file-system bandwidth
+	ioTime := time.Duration(total / bw * float64(time.Second))
+	return iolog.Record{
+		JobID:        j.ID,
+		BytesRead:    int64(read),
+		BytesWritten: int64(written),
+		FilesRead:    1 + rng.Intn(64),
+		FilesWritten: 1 + rng.Intn(512),
+		MetaOps:      int64(1000 + rng.Intn(500000)),
+		IOTime:       ioTime,
+	}
+}
+
+// maxResubChain bounds how many times one failing job is resubmitted.
+const maxResubChain = 3
+
+// incidentMidplanes returns the linear midplane IDs an incident's root
+// location covers (1 for midplane-level, 2 for rack-level, none for
+// system-level).
+func incidentMidplanes(loc machine.Location) []int {
+	switch loc.Level() {
+	case machine.LevelRack:
+		base := loc.RackIndex() * machine.MidplanesPerRack
+		return []int{base, base + 1}
+	case machine.LevelSystem:
+		return nil
+	default:
+		id, err := loc.MidplaneID()
+		if err != nil {
+			return nil
+		}
+		return []int{id}
+	}
+}
+
+// serviceEvent builds a service-action RAS record; record IDs are assigned
+// when the full stream is sorted.
+func serviceEvent(msgID string, at time.Time, loc machine.Location) raslog.Event {
+	entry, ok := raslog.CatalogByID()[msgID]
+	if !ok {
+		entry = raslog.CatalogEntry{Comp: raslog.CompMMCS, Cat: raslog.CatInfra, Sev: raslog.Info, Message: "service action"}
+	}
+	return raslog.Event{
+		MsgID:   msgID,
+		Comp:    entry.Comp,
+		Cat:     entry.Cat,
+		Sev:     raslog.Info,
+		Time:    at,
+		Loc:     loc,
+		Message: entry.Message,
+		Count:   1,
+	}
+}

@@ -1,0 +1,247 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("perfect linear r = %v", r)
+	}
+	yneg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(x, yneg)
+	if math.Abs(r+1) > 1e-12 {
+		t.Errorf("perfect negative r = %v", r)
+	}
+	if _, err := Pearson(x, x[:3]); !errors.Is(err, ErrLengthMismatch) {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); err == nil {
+		t.Error("n=1 should fail")
+	}
+	if _, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero variance should fail")
+	}
+}
+
+func TestPearsonIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 10000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	r, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r) > 0.05 {
+		t.Errorf("independent r = %v, want ≈0", r)
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	// Monotone nonlinear relation: Spearman 1, Pearson < 1.
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Exp(v)
+	}
+	rho, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-1) > 1e-12 {
+		t.Errorf("monotone spearman = %v", rho)
+	}
+	r, _ := Pearson(x, y)
+	if r >= 1-1e-9 {
+		t.Errorf("pearson should be < 1 for convex relation, got %v", r)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	x := []float64{1, 1, 2, 2, 3}
+	y := []float64{1, 1, 2, 2, 3}
+	rho, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-1) > 1e-12 {
+		t.Errorf("tied identical spearman = %v", rho)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	r := ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Errorf("ranks = %v, want %v", r, want)
+			break
+		}
+	}
+}
+
+func TestKendall(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 2, 3, 4, 5}
+	tau, err := Kendall(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tau-1) > 1e-12 {
+		t.Errorf("identical kendall = %v", tau)
+	}
+	rev := []float64{5, 4, 3, 2, 1}
+	tau, _ = Kendall(x, rev)
+	if math.Abs(tau+1) > 1e-12 {
+		t.Errorf("reversed kendall = %v", tau)
+	}
+	if _, err := Kendall([]float64{1, 1}, []float64{2, 2}); err == nil {
+		t.Error("all ties should fail")
+	}
+	if _, err := Kendall(x, x[:2]); !errors.Is(err, ErrLengthMismatch) {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestContingencyChiSquare(t *testing.T) {
+	// Perfectly associated 2x2.
+	a := []string{"u1", "u1", "u2", "u2"}
+	b := []string{"fail", "fail", "ok", "ok"}
+	tab, err := NewContingencyTable(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chi2, df := tab.ChiSquare()
+	if df != 1 {
+		t.Errorf("df = %d, want 1", df)
+	}
+	if math.Abs(chi2-4) > 1e-12 { // n * (phi=1)^2
+		t.Errorf("chi2 = %v, want 4", chi2)
+	}
+	if v := tab.CramersV(); math.Abs(v-1) > 1e-12 {
+		t.Errorf("V = %v, want 1", v)
+	}
+}
+
+func TestCramersVIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 20000
+	a := make([]string, n)
+	b := make([]string, n)
+	users := []string{"u1", "u2", "u3", "u4"}
+	outcomes := []string{"ok", "fail"}
+	for i := 0; i < n; i++ {
+		a[i] = users[rng.Intn(len(users))]
+		b[i] = outcomes[rng.Intn(len(outcomes))]
+	}
+	v, err := CramersV(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > 0.05 {
+		t.Errorf("independent V = %v, want ≈0", v)
+	}
+}
+
+func TestContingencyErrors(t *testing.T) {
+	if _, err := NewContingencyTable([]string{"a"}, []string{"x", "y"}); !errors.Is(err, ErrLengthMismatch) {
+		t.Error("mismatch should fail")
+	}
+	if _, err := NewContingencyTable(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Error("empty should fail")
+	}
+}
+
+func TestGini(t *testing.T) {
+	// Perfect equality.
+	g, err := Gini([]float64{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g) > 1e-12 {
+		t.Errorf("equal gini = %v", g)
+	}
+	// Maximal inequality with n=4: G = (n-1)/n = 0.75.
+	g, _ = Gini([]float64{0, 0, 0, 10})
+	if math.Abs(g-0.75) > 1e-12 {
+		t.Errorf("max gini = %v, want 0.75", g)
+	}
+	if _, err := Gini(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("empty gini should fail")
+	}
+	if g, _ := Gini([]float64{0, 0}); g != 0 {
+		t.Errorf("all-zero gini = %v", g)
+	}
+}
+
+func TestLorenz(t *testing.T) {
+	ps, shares, err := Lorenz([]float64{1, 1, 1, 7}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0] != 0 || shares[0] != 0 || ps[4] != 1 || math.Abs(shares[4]-1) > 1e-12 {
+		t.Errorf("lorenz endpoints: %v %v", ps, shares)
+	}
+	// Bottom 75% hold 3/10.
+	if math.Abs(shares[3]-0.3) > 1e-12 {
+		t.Errorf("share at 0.75 = %v, want 0.3", shares[3])
+	}
+	// Curve must be convex (below diagonal) for unequal data.
+	for i := range ps {
+		if shares[i] > ps[i]+1e-12 {
+			t.Errorf("lorenz above diagonal at %v", ps[i])
+		}
+	}
+}
+
+func TestTopKShare(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 90}
+	s, err := TopKShare(data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-0.9) > 1e-12 {
+		t.Errorf("top-1 share = %v", s)
+	}
+	if s, _ := TopKShare(data, 10); s != 1 {
+		t.Errorf("k>n share = %v", s)
+	}
+	if s, _ := TopKShare([]float64{0, 0}, 1); s != 0 {
+		t.Errorf("zero-total share = %v", s)
+	}
+}
+
+func TestBootstrapMeanCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data := make([]float64, 500)
+	for i := range data {
+		data[i] = 10 + rng.NormFloat64()
+	}
+	lo, hi, err := BootstrapMeanCI(data, 500, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > 10 || hi < 10 {
+		t.Errorf("CI [%v,%v] misses true mean 10", lo, hi)
+	}
+	if hi-lo > 0.5 {
+		t.Errorf("CI too wide: [%v,%v]", lo, hi)
+	}
+	if _, _, err := BootstrapMeanCI(nil, 100, 0.05, rng); !errors.Is(err, ErrEmpty) {
+		t.Error("empty bootstrap should fail")
+	}
+}

@@ -1,0 +1,140 @@
+// Package stats provides the descriptive and inferential statistics the
+// failure analysis needs: summaries, quantiles, empirical CDFs, histograms,
+// rank and product-moment correlation, categorical association, inequality
+// measures (Lorenz/Gini) and bootstrap confidence intervals.
+//
+// Everything is implemented on plain []float64 with no external
+// dependencies; functions never mutate their inputs.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when a computation receives no data.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Summary holds the descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // population standard deviation
+	Min    float64
+	Max    float64
+	Sum    float64
+	Median float64
+	P25    float64
+	P75    float64
+	P95    float64
+	P99    float64
+}
+
+// Summarize computes a Summary of data.
+func Summarize(data []float64) (Summary, error) {
+	if len(data) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := Summary{N: len(data), Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, x := range data {
+		s.Sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	ss := 0.0
+	for _, x := range data {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Std = math.Sqrt(ss / float64(s.N))
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	s.Median = quantileSorted(sorted, 0.5)
+	s.P25 = quantileSorted(sorted, 0.25)
+	s.P75 = quantileSorted(sorted, 0.75)
+	s.P95 = quantileSorted(sorted, 0.95)
+	s.P99 = quantileSorted(sorted, 0.99)
+	return s, nil
+}
+
+// Mean returns the arithmetic mean, or NaN for an empty sample.
+func Mean(data []float64) float64 {
+	if len(data) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range data {
+		sum += x
+	}
+	return sum / float64(len(data))
+}
+
+// Variance returns the population variance, or NaN for samples of size < 1.
+func Variance(data []float64) float64 {
+	if len(data) == 0 {
+		return math.NaN()
+	}
+	m := Mean(data)
+	ss := 0.0
+	for _, x := range data {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(data))
+}
+
+// Std returns the population standard deviation.
+func Std(data []float64) float64 { return math.Sqrt(Variance(data)) }
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) of data using linear
+// interpolation between order statistics (type-7, the R/NumPy default).
+func Quantile(data []float64, p float64) (float64, error) {
+	if len(data) == 0 {
+		return 0, ErrEmpty
+	}
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, p), nil
+}
+
+// quantileSorted computes the type-7 quantile of an already-sorted sample.
+func quantileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	h := p * float64(n-1)
+	lo := int(math.Floor(h))
+	frac := h - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+// Quantiles returns the quantiles of data at each probability in ps with a
+// single sort.
+func Quantiles(data []float64, ps []float64) ([]float64, error) {
+	if len(data) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = quantileSorted(sorted, p)
+	}
+	return out, nil
+}

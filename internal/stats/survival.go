@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Observation is one subject of a survival analysis: a duration and
+// whether the terminal event was observed (false = right-censored).
+//
+// For job-failure survival, a failed job contributes an observed event at
+// its execution length, while a successful job is censored: it ran that
+// long without failing, and would have failed at some unknown later time.
+type Observation struct {
+	Time     float64
+	Observed bool
+}
+
+// SurvivalPoint is one step of a Kaplan–Meier curve.
+type SurvivalPoint struct {
+	Time     float64 // event time
+	AtRisk   int     // subjects at risk just before Time
+	Events   int     // events at Time
+	Survival float64 // S(Time)
+}
+
+// KaplanMeier estimates the survival function S(t) from right-censored
+// data using the product-limit estimator:
+//
+//	S(t) = Π_{t_i ≤ t} (1 − d_i / n_i)
+//
+// where d_i are events and n_i subjects at risk at event time t_i.
+// Censored subjects leave the risk set without contributing an event.
+func KaplanMeier(obs []Observation) ([]SurvivalPoint, error) {
+	if len(obs) == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := append([]Observation(nil), obs...)
+	for _, o := range sorted {
+		if o.Time < 0 || math.IsNaN(o.Time) {
+			return nil, fmt.Errorf("stats: negative or NaN survival time %v", o.Time)
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+
+	var curve []SurvivalPoint
+	surv := 1.0
+	atRisk := len(sorted)
+	i := 0
+	for i < len(sorted) {
+		t := sorted[i].Time
+		events, censored := 0, 0
+		for i < len(sorted) && sorted[i].Time == t {
+			if sorted[i].Observed {
+				events++
+			} else {
+				censored++
+			}
+			i++
+		}
+		if events > 0 {
+			surv *= 1 - float64(events)/float64(atRisk)
+			curve = append(curve, SurvivalPoint{Time: t, AtRisk: atRisk, Events: events, Survival: surv})
+		}
+		atRisk -= events + censored
+	}
+	if len(curve) == 0 {
+		return nil, fmt.Errorf("stats: no observed events (all %d censored)", len(obs))
+	}
+	return curve, nil
+}
+
+// SurvivalAt evaluates a Kaplan–Meier curve at time t (step function;
+// S = 1 before the first event).
+func SurvivalAt(curve []SurvivalPoint, t float64) float64 {
+	s := 1.0
+	for _, p := range curve {
+		if p.Time > t {
+			break
+		}
+		s = p.Survival
+	}
+	return s
+}
+
+// MedianSurvival returns the earliest time at which S(t) ≤ 0.5, or
+// (0, false) when the curve never crosses one half (more than half of the
+// subjects are censored late).
+func MedianSurvival(curve []SurvivalPoint) (float64, bool) {
+	for _, p := range curve {
+		if p.Survival <= 0.5 {
+			return p.Time, true
+		}
+	}
+	return 0, false
+}
+
+// CumulativeHazard returns the Nelson–Aalen cumulative-hazard estimate
+// H(t_i) = Σ d_j/n_j aligned with the event times of the KM curve. A
+// concave H (decreasing hazard) is the infant-mortality signature.
+func CumulativeHazard(curve []SurvivalPoint) []float64 {
+	out := make([]float64, len(curve))
+	h := 0.0
+	for i, p := range curve {
+		h += float64(p.Events) / float64(p.AtRisk)
+		out[i] = h
+	}
+	return out
+}
+
+// LinearFit returns the least-squares line y = a + b·x and the R²
+// coefficient of determination for paired samples. Used for trend tests
+// on monthly series.
+func LinearFit(x, y []float64) (a, b, r2 float64, err error) {
+	if len(x) != len(y) {
+		return 0, 0, 0, ErrLengthMismatch
+	}
+	if len(x) < 2 {
+		return 0, 0, 0, ErrEmpty
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, 0, 0, fmt.Errorf("stats: zero variance in x")
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	if syy > 0 {
+		r2 = sxy * sxy / (sxx * syy)
+	}
+	return a, b, r2, nil
+}
+
+// Autocorrelation returns the sample autocorrelation of the series at the
+// given lag (0 < lag < len(series)).
+func Autocorrelation(series []float64, lag int) (float64, error) {
+	n := len(series)
+	if n == 0 {
+		return 0, ErrEmpty
+	}
+	if lag <= 0 || lag >= n {
+		return 0, fmt.Errorf("stats: lag %d out of range (0, %d)", lag, n)
+	}
+	m := Mean(series)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := series[i] - m
+		den += d * d
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("stats: constant series has no autocorrelation")
+	}
+	for i := 0; i < n-lag; i++ {
+		num += (series[i] - m) * (series[i+lag] - m)
+	}
+	return num / den, nil
+}

@@ -1,0 +1,60 @@
+package tasklog
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// Scanner streams a task CSV log one record at a time.
+type Scanner struct {
+	cr   *csv.Reader
+	cur  Task
+	err  error
+	line int
+	done bool
+}
+
+// NewScanner validates the header and returns a streaming reader.
+func NewScanner(r io.Reader) (*Scanner, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	first, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("tasklog: read header: %w", err)
+	}
+	if len(first) != len(header) || first[0] != header[0] {
+		return nil, fmt.Errorf("tasklog: unexpected header %v", first)
+	}
+	return &Scanner{cr: cr, line: 1}, nil
+}
+
+// Scan advances to the next task; false at EOF or error (check Err).
+func (s *Scanner) Scan() bool {
+	if s.done || s.err != nil {
+		return false
+	}
+	s.line++
+	rec, err := s.cr.Read()
+	if err == io.EOF {
+		s.done = true
+		return false
+	}
+	if err != nil {
+		s.err = fmt.Errorf("tasklog: line %d: %w", s.line, err)
+		return false
+	}
+	t, err := parseRow(rec)
+	if err != nil {
+		s.err = fmt.Errorf("tasklog: line %d: %w", s.line, err)
+		return false
+	}
+	s.cur = t
+	return true
+}
+
+// Task returns the current record. Valid after a true Scan.
+func (s *Scanner) Task() Task { return s.cur }
+
+// Err returns the first error encountered, if any.
+func (s *Scanner) Err() error { return s.err }

@@ -1,0 +1,144 @@
+// Package tasklog models the physical-execution log of Mira: every job
+// consists of one or more tasks (runs), each executed on a specific
+// hardware block (partition). The task log is the join key between the
+// scheduler's view of a job and the hardware locations RAS events report.
+package tasklog
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// Task is one physical execution (run) belonging to a job.
+type Task struct {
+	ID         int64
+	JobID      int64
+	Block      machine.Block // hardware partition the run executed on
+	Start      time.Time
+	End        time.Time
+	Nodes      int // nodes used (≤ Block.Nodes())
+	ExitStatus int // per-run exit status
+}
+
+// Runtime returns the task's wall-clock duration.
+func (t *Task) Runtime() time.Duration { return t.End.Sub(t.Start) }
+
+// Validate performs sanity checks.
+func (t *Task) Validate() error {
+	switch {
+	case t.ID <= 0:
+		return fmt.Errorf("tasklog: task %d: non-positive id", t.ID)
+	case t.JobID <= 0:
+		return fmt.Errorf("tasklog: task %d: non-positive job id", t.ID)
+	case t.End.Before(t.Start):
+		return fmt.Errorf("tasklog: task %d: ends before start", t.ID)
+	case t.Nodes <= 0 || t.Nodes > t.Block.Nodes():
+		return fmt.Errorf("tasklog: task %d: %d nodes does not fit block %s", t.ID, t.Nodes, t.Block.Name())
+	}
+	return t.Block.Validate()
+}
+
+var header = []string{
+	"task_id", "job_id", "block", "start_unix", "end_unix", "nodes", "exit_status",
+}
+
+// WriteCSV writes tasks to w, header first.
+func WriteCSV(w io.Writer, tasks []Task) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("tasklog: write header: %w", err)
+	}
+	row := make([]string, len(header))
+	for i := range tasks {
+		t := &tasks[i]
+		row[0] = strconv.FormatInt(t.ID, 10)
+		row[1] = strconv.FormatInt(t.JobID, 10)
+		row[2] = t.Block.Name()
+		row[3] = strconv.FormatInt(t.Start.Unix(), 10)
+		row[4] = strconv.FormatInt(t.End.Unix(), 10)
+		row[5] = strconv.Itoa(t.Nodes)
+		row[6] = strconv.Itoa(t.ExitStatus)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("tasklog: write task %d: %w", t.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a task log written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Task, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	first, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("tasklog: read header: %w", err)
+	}
+	if len(first) != len(header) || first[0] != header[0] {
+		return nil, fmt.Errorf("tasklog: unexpected header %v", first)
+	}
+	var tasks []Task
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("tasklog: line %d: %w", line, err)
+		}
+		t, err := parseRow(rec)
+		if err != nil {
+			return nil, fmt.Errorf("tasklog: line %d: %w", line, err)
+		}
+		tasks = append(tasks, t)
+	}
+	return tasks, nil
+}
+
+func parseRow(rec []string) (Task, error) {
+	if len(rec) != len(header) {
+		return Task{}, fmt.Errorf("want %d fields, got %d", len(header), len(rec))
+	}
+	var t Task
+	var err error
+	if t.ID, err = strconv.ParseInt(rec[0], 10, 64); err != nil {
+		return Task{}, fmt.Errorf("task_id: %w", err)
+	}
+	if t.JobID, err = strconv.ParseInt(rec[1], 10, 64); err != nil {
+		return Task{}, fmt.Errorf("job_id: %w", err)
+	}
+	if t.Block, err = machine.ParseBlock(rec[2]); err != nil {
+		return Task{}, err
+	}
+	start, err := strconv.ParseInt(rec[3], 10, 64)
+	if err != nil {
+		return Task{}, fmt.Errorf("start_unix: %w", err)
+	}
+	end, err := strconv.ParseInt(rec[4], 10, 64)
+	if err != nil {
+		return Task{}, fmt.Errorf("end_unix: %w", err)
+	}
+	t.Start = time.Unix(start, 0).UTC()
+	t.End = time.Unix(end, 0).UTC()
+	if t.Nodes, err = strconv.Atoi(rec[5]); err != nil {
+		return Task{}, fmt.Errorf("nodes: %w", err)
+	}
+	if t.ExitStatus, err = strconv.Atoi(rec[6]); err != nil {
+		return Task{}, fmt.Errorf("exit_status: %w", err)
+	}
+	return t, nil
+}
+
+// ByJob groups tasks by job ID.
+func ByJob(tasks []Task) map[int64][]Task {
+	m := make(map[int64][]Task)
+	for _, t := range tasks {
+		m[t.JobID] = append(m[t.JobID], t)
+	}
+	return m
+}
