@@ -117,6 +117,136 @@ func Benchmark_E22_Availability(b *testing.B) {
 }
 func Benchmark_E23_Survival(b *testing.B) { benchExperiment(b, "E23", "s_1h") }
 
+// Paired serial/parallel benchmarks of the worker-pool substrates. Each
+// parallel variant times one serial pass outside the timer and reports
+// "speedup" — serial time over parallel per-iteration time — so a single
+// run shows the fan-out win. On a single-core runner the ratio sits near
+// 1.0 by construction: the parallel path does identical work, and the
+// equivalence tests prove it produces identical output.
+
+func BenchmarkCorpusGenerationSerial(b *testing.B)   { benchGenerate(b, 1) }
+func BenchmarkCorpusGenerationParallel(b *testing.B) { benchGenerate(b, 0) }
+
+func benchGenerate(b *testing.B, workers int) {
+	cfg := sim.DefaultConfig()
+	cfg.Days = benchDays
+	serial := timeOnce(b, func() {
+		if _, err := sim.GenerateParallel(cfg, 1); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := sim.GenerateParallel(cfg, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(c.Jobs) == 0 {
+			b.Fatal("empty corpus")
+		}
+	}
+	reportSpeedup(b, serial)
+}
+
+func BenchmarkFitAllSerial(b *testing.B)   { benchFitAll(b, 1) }
+func BenchmarkFitAllParallel(b *testing.B) { benchFitAll(b, 0) }
+
+func benchFitAll(b *testing.B, workers int) {
+	rng := rand.New(rand.NewSource(11))
+	w, err := dist.NewWeibull(0.62, 2100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]float64, 20000)
+	for i := range data {
+		data[i] = w.Rand(rng)
+	}
+	serial := timeOnce(b, func() { dist.FitAllParallel(data, nil, 1) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := dist.FitAllParallel(data, nil, workers)
+		if results[0].Err != nil {
+			b.Fatal(results[0].Err)
+		}
+	}
+	reportSpeedup(b, serial)
+}
+
+func BenchmarkFilterSweepSerial(b *testing.B)   { benchFilterSweep(b, 1) }
+func BenchmarkFilterSweepParallel(b *testing.B) { benchFilterSweep(b, 0) }
+
+func benchFilterSweep(b *testing.B, workers int) {
+	env := sharedEnv(b)
+	base := core.DefaultFilterRule()
+	windows := []time.Duration{
+		30 * time.Second, time.Minute, 2 * time.Minute, 5 * time.Minute,
+		10 * time.Minute, 20 * time.Minute, 40 * time.Minute, time.Hour,
+		2 * time.Hour, 6 * time.Hour,
+	}
+	serial := timeOnce(b, func() {
+		if _, err := core.FilterSweepParallel(env.D.Events, base, windows, 1); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, err := core.FilterSweepParallel(env.D.Events, base, windows, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != len(windows) {
+			b.Fatal("short sweep")
+		}
+	}
+	reportSpeedup(b, serial)
+}
+
+func BenchmarkRunAllSerial(b *testing.B)   { benchRunAll(b, 1) }
+func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, 0) }
+
+func benchRunAll(b *testing.B, workers int) {
+	env := sharedEnv(b)
+	// Warm the memoized classifications so neither variant pays the one-off
+	// cost inside the timed region.
+	env.ClassifyByExit()
+	env.ClassifyJoint()
+	serial := timeOnce(b, func() {
+		if _, err := experiments.RunAll(env, 1); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.RunAll(env, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(experiments.All()) {
+			b.Fatal("short suite")
+		}
+	}
+	reportSpeedup(b, serial)
+}
+
+// timeOnce times a single serial pass outside the benchmark timer, for the
+// speedup metric of the parallel variants.
+func timeOnce(b *testing.B, fn func()) time.Duration {
+	b.Helper()
+	t0 := time.Now()
+	fn()
+	return time.Since(t0)
+}
+
+// reportSpeedup reports serial-time over per-iteration time.
+func reportSpeedup(b *testing.B, serial time.Duration) {
+	b.Helper()
+	b.StopTimer()
+	if b.N > 0 && b.Elapsed() > 0 {
+		perIter := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		b.ReportMetric(float64(serial.Nanoseconds())/perIter, "speedup")
+	}
+}
+
 // Substrate micro-benchmarks.
 
 // BenchmarkCorpusGeneration measures end-to-end synthesis of a 30-day

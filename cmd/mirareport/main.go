@@ -43,6 +43,7 @@ func run() error {
 	takeaways := flag.Bool("takeaways", false, "print only the 22-takeaway report")
 	list := flag.Bool("list", false, "list the experiments and exit")
 	csvDir := flag.String("csv", "", "also dump figure/table CSVs into this directory")
+	parallelism := flag.Int("parallelism", 0, "worker bound for corpus generation and the experiment suite (0 = all cores, 1 = serial; results are identical)")
 	flag.Parse()
 
 	if *list {
@@ -52,7 +53,7 @@ func run() error {
 		return nil
 	}
 
-	env, err := buildEnv(*in, *days, *seed, *small)
+	env, err := buildEnv(*in, *days, *seed, *small, *parallelism)
 	if err != nil {
 		return err
 	}
@@ -61,23 +62,27 @@ func run() error {
 		return printTakeaways(env.D)
 	}
 
-	var toRun []experiments.Experiment
+	var results []*experiments.Result
 	if *expID != "" {
 		exp, ok := experiments.ByID(*expID)
 		if !ok {
 			return fmt.Errorf("unknown experiment %q (run with -list to see E1..E22)", *expID)
 		}
-		toRun = []experiments.Experiment{exp}
-	} else {
-		toRun = experiments.All()
-	}
-
-	for _, exp := range toRun {
 		res, err := exp.Run(env)
 		if err != nil {
 			return fmt.Errorf("%s: %w", exp.ID, err)
 		}
-		fmt.Printf("=== %s: %s ===\n", exp.ID, exp.Description)
+		results = []*experiments.Result{res}
+	} else {
+		// Fan the suite out across workers; results come back in index
+		// order, so the report reads identically at any parallelism.
+		if results, err = experiments.RunAll(env, *parallelism); err != nil {
+			return err
+		}
+	}
+
+	for _, res := range results {
+		fmt.Printf("=== %s: %s ===\n", res.ID, res.Description)
 		for _, t := range res.Tables {
 			if err := t.Render(os.Stdout); err != nil {
 				return err
@@ -105,7 +110,7 @@ func run() error {
 
 // buildEnv creates the evaluation environment from a CSV corpus directory
 // or by generating a fresh corpus.
-func buildEnv(in string, days int, seed int64, small bool) (*experiments.Env, error) {
+func buildEnv(in string, days int, seed int64, small bool, parallelism int) (*experiments.Env, error) {
 	if in == "" {
 		cfg := sim.DefaultConfig()
 		if small {
@@ -118,7 +123,7 @@ func buildEnv(in string, days int, seed int64, small bool) (*experiments.Env, er
 			cfg.Seed = seed
 		}
 		fmt.Fprintf(os.Stderr, "generating %d-day corpus (seed %d)...\n", cfg.Days, cfg.Seed)
-		return experiments.NewEnv(cfg)
+		return experiments.NewEnvParallel(cfg, parallelism)
 	}
 	jobs, err := readJobs(filepath.Join(in, "jobs.csv"))
 	if err != nil {
@@ -140,7 +145,9 @@ func buildEnv(in string, days int, seed int64, small bool) (*experiments.Env, er
 	if err != nil {
 		return nil, err
 	}
-	return &experiments.Env{D: d}, nil
+	env := experiments.NewEnvFromDataset(d)
+	env.Parallelism = parallelism
+	return env, nil
 }
 
 func readJobs(path string) ([]joblog.Job, error) {

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/machine"
+	"repro/internal/par"
 	"repro/internal/raslog"
 )
 
@@ -75,6 +77,15 @@ func FilterBySeverity(events []raslog.Event, sev raslog.Severity, rule FilterRul
 		return nil, err
 	}
 	open := map[filterKey]int{} // key → index into incidents
+	// jobSeen deduplicates job attributions in O(1) per event: one map for
+	// the whole pass, keyed by (incident index, job id), replacing the old
+	// per-event linear scan of Incident.JobIDs (O(n·m) on bursts that touch
+	// many jobs).
+	type incidentJob struct {
+		incident int
+		job      int64
+	}
+	jobSeen := map[incidentJob]struct{}{}
 	var incidents []Incident
 	for i := range events {
 		e := &events[i]
@@ -103,8 +114,11 @@ func FilterBySeverity(events []raslog.Event, sev raslog.Severity, rule FilterRul
 			in := &incidents[idx]
 			in.Last = e.Time
 			in.Events++
-			if e.JobID != 0 && !containsID(in.JobIDs, e.JobID) {
-				in.JobIDs = append(in.JobIDs, e.JobID)
+			if e.JobID != 0 {
+				if _, dup := jobSeen[incidentJob{idx, e.JobID}]; !dup {
+					jobSeen[incidentJob{idx, e.JobID}] = struct{}{}
+					in.JobIDs = append(in.JobIDs, e.JobID)
+				}
 			}
 			continue
 		}
@@ -114,19 +128,11 @@ func FilterBySeverity(events []raslog.Event, sev raslog.Severity, rule FilterRul
 		})
 		if e.JobID != 0 {
 			incidents[len(incidents)-1].JobIDs = []int64{e.JobID}
+			jobSeen[incidentJob{len(incidents) - 1, e.JobID}] = struct{}{}
 		}
 		open[k] = len(incidents) - 1
 	}
 	return incidents, nil
-}
-
-func containsID(ids []int64, id int64) bool {
-	for _, v := range ids {
-		if v == id {
-			return true
-		}
-	}
-	return false
 }
 
 // SweepPoint is one point of the filtering sensitivity sweep.
@@ -138,27 +144,41 @@ type SweepPoint struct {
 
 // FilterSweep runs FilterFatal across the given windows (holding the rest
 // of the rule fixed) and reports the incident counts — the knee of this
-// curve is how the paper picks its filtering window.
+// curve is how the paper picks its filtering window. The window grid is
+// evaluated concurrently on all cores; use FilterSweepParallel to bound the
+// worker count.
 func FilterSweep(events []raslog.Event, base FilterRule, windows []time.Duration) ([]SweepPoint, error) {
+	return FilterSweepParallel(events, base, windows, 0)
+}
+
+// FilterSweepParallel is FilterSweep with an explicit worker bound (≤ 0
+// means GOMAXPROCS). Each window's filter pass is independent and writes
+// its SweepPoint to the slot of its window index, so the sweep is identical
+// to the serial path for any worker count.
+func FilterSweepParallel(events []raslog.Event, base FilterRule, windows []time.Duration, workers int) ([]SweepPoint, error) {
 	raw := 0
 	for i := range events {
 		if events[i].Sev == raslog.Fatal {
 			raw++
 		}
 	}
-	out := make([]SweepPoint, 0, len(windows))
-	for _, w := range windows {
+	out := make([]SweepPoint, len(windows))
+	err := par.ForEach(context.Background(), len(windows), workers, func(i int) error {
 		rule := base
-		rule.Window = w
+		rule.Window = windows[i]
 		incidents, err := FilterFatal(events, rule)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		p := SweepPoint{Window: w, Incidents: len(incidents)}
+		p := SweepPoint{Window: windows[i], Incidents: len(incidents)}
 		if raw > 0 {
 			p.Reduction = 1 - float64(len(incidents))/float64(raw)
 		}
-		out = append(out, p)
+		out[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

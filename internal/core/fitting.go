@@ -34,6 +34,10 @@ type FitOptions struct {
 	// O(n) per candidate; the cap keeps interactive runs fast without
 	// changing the winner on large corpora.
 	MaxSamples int
+	// Parallelism bounds the workers fitting the candidate families of one
+	// exit family (≤ 0 = GOMAXPROCS). The ranking is identical at any
+	// setting.
+	Parallelism int
 }
 
 // FitExecutionLengths fits the candidate distribution families to the
@@ -67,7 +71,7 @@ func (d *Dataset) FitExecutionLengths(opt FitOptions) ([]FamilyFit, error) {
 		if opt.MaxSamples > 0 && len(data) > opt.MaxSamples {
 			data = thin(data, opt.MaxSamples)
 		}
-		results := dist.FitAll(data, opt.Fitters)
+		results := dist.FitAllParallel(data, opt.Fitters, opt.Parallelism)
 		if len(results) == 0 {
 			return nil, fmt.Errorf("core: no fit results for family %s", fam)
 		}

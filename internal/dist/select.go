@@ -1,9 +1,12 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/par"
 )
 
 // KSStatistic returns the one-sample Kolmogorov–Smirnov statistic
@@ -86,31 +89,29 @@ func DefaultFitters() []Fitter {
 // FitAll fits every candidate family to data and returns the results ranked
 // best-first by KS statistic (the paper's goodness-of-fit criterion), with
 // AIC as a tiebreaker. Families that fail to fit sort last and carry Err.
+// The candidates are fitted concurrently on all cores; use FitAllParallel
+// to bound the worker count.
 func FitAll(data []float64, fitters []Fitter) []FitResult {
+	return FitAllParallel(data, fitters, 0)
+}
+
+// FitAllParallel is FitAll with an explicit worker bound (≤ 0 means
+// GOMAXPROCS). Each candidate family's fit + goodness-of-fit statistics are
+// independent, so they fan out across the pool; results land in the slot of
+// their fitter and the final stable sort is unchanged, making the ranking
+// identical to the serial path for any worker count.
+func FitAllParallel(data []float64, fitters []Fitter, workers int) []FitResult {
 	if len(fitters) == 0 {
 		fitters = DefaultFitters()
 	}
-	results := make([]FitResult, 0, len(fitters))
-	for _, f := range fitters {
-		r := FitResult{Family: f.FamilyName()}
-		d, err := f.Fit(data)
-		if err != nil {
-			r.Err = err
-			r.KS = math.Inf(1)
-			r.AD = math.Inf(1)
-			r.AIC = math.Inf(1)
-			r.BIC = math.Inf(1)
-			r.LogL = math.Inf(-1)
-		} else {
-			r.Dist = d
-			r.KS = KSStatistic(d, data)
-			r.AD = ADStatistic(d, data)
-			r.PValue = KolmogorovPValue(r.KS, len(data))
-			r.LogL = LogLikelihood(d, data)
-			r.AIC = AIC(d, data)
-			r.BIC = BIC(d, data)
-		}
-		results = append(results, r)
+	results := make([]FitResult, len(fitters))
+	if err := par.ForEach(context.Background(), len(fitters), workers, func(i int) error {
+		results[i] = fitOne(fitters[i], data)
+		return nil
+	}); err != nil {
+		// fitOne reports failures through FitResult.Err; the only error
+		// ForEach can surface here is a captured panic in a fitter.
+		panic(err)
 	}
 	sort.SliceStable(results, func(i, j int) bool {
 		ri, rj := results[i], results[j]
@@ -129,6 +130,30 @@ func FitAll(data []float64, fitters []Fitter) []FitResult {
 		return ri.AIC < rj.AIC
 	})
 	return results
+}
+
+// fitOne fits a single candidate family and computes its goodness-of-fit
+// statistics.
+func fitOne(f Fitter, data []float64) FitResult {
+	r := FitResult{Family: f.FamilyName()}
+	d, err := f.Fit(data)
+	if err != nil {
+		r.Err = err
+		r.KS = math.Inf(1)
+		r.AD = math.Inf(1)
+		r.AIC = math.Inf(1)
+		r.BIC = math.Inf(1)
+		r.LogL = math.Inf(-1)
+		return r
+	}
+	r.Dist = d
+	r.KS = KSStatistic(d, data)
+	r.AD = ADStatistic(d, data)
+	r.PValue = KolmogorovPValue(r.KS, len(data))
+	r.LogL = LogLikelihood(d, data)
+	r.AIC = AIC(d, data)
+	r.BIC = BIC(d, data)
+	return r
 }
 
 // SelectBest fits every candidate family and returns the winner by KS

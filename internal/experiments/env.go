@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/report"
@@ -15,16 +16,43 @@ import (
 )
 
 // Env is the shared evaluation environment: one generated corpus and its
-// indexed dataset.
+// indexed dataset, plus lazily memoized cross-experiment analyses (the
+// classifications five experiments would otherwise recompute from scratch).
 type Env struct {
 	Cfg    sim.Config
 	Corpus *sim.Corpus
 	D      *core.Dataset
+	// Parallelism bounds the workers used by the parallel substrates the
+	// experiments call (distribution fitting, the filter-window sweep);
+	// ≤ 0 means GOMAXPROCS. Results are identical at any setting.
+	Parallelism int
+
+	cache *envCache
 }
 
-// NewEnv generates a corpus and indexes it.
+// envCache memoizes analyses shared across experiments. It lives behind a
+// pointer so an Env value can be copied without copying locks; sync.Once
+// makes each analysis safe to request from concurrently running
+// experiments while computing it exactly once.
+type envCache struct {
+	exitOnce  sync.Once
+	exit      *core.Classification
+	jointOnce sync.Once
+	joint     *core.Classification
+}
+
+// NewEnv generates a corpus and indexes it. Generation uses all cores; use
+// NewEnvParallel to bound the worker count.
 func NewEnv(cfg sim.Config) (*Env, error) {
-	c, err := sim.Generate(cfg)
+	return NewEnvParallel(cfg, 0)
+}
+
+// NewEnvParallel generates a corpus with at most workers goroutines (≤ 0
+// means GOMAXPROCS) and indexes it. The corpus — and therefore every
+// downstream experiment — is identical for any worker count; the bound also
+// becomes the environment's Parallelism.
+func NewEnvParallel(cfg sim.Config, workers int) (*Env, error) {
+	c, err := sim.GenerateParallel(cfg, workers)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
@@ -32,7 +60,35 @@ func NewEnv(cfg sim.Config) (*Env, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	return &Env{Cfg: cfg, Corpus: c, D: d}, nil
+	return &Env{Cfg: cfg, Corpus: c, D: d, Parallelism: workers, cache: &envCache{}}, nil
+}
+
+// NewEnvFromDataset wraps an already-loaded dataset (e.g. a CSV corpus read
+// back by mirareport) as an evaluation environment.
+func NewEnvFromDataset(d *core.Dataset) *Env {
+	return &Env{D: d, cache: &envCache{}}
+}
+
+// ClassifyByExit returns the exit-status-only classification, computed once
+// per environment no matter how many experiments (or workers) request it.
+func (e *Env) ClassifyByExit() *core.Classification {
+	if e.cache == nil {
+		// Env literals built without a constructor have no cache; fall back
+		// to direct computation rather than racing to create one.
+		return e.D.ClassifyByExit()
+	}
+	e.cache.exitOnce.Do(func() { e.cache.exit = e.D.ClassifyByExit() })
+	return e.cache.exit
+}
+
+// ClassifyJoint returns the joint (RAS-correlated) classification under
+// core.DefaultJointOptions, computed once per environment.
+func (e *Env) ClassifyJoint() *core.Classification {
+	if e.cache == nil {
+		return e.D.ClassifyJoint(core.DefaultJointOptions())
+	}
+	e.cache.jointOnce.Do(func() { e.cache.joint = e.D.ClassifyJoint(core.DefaultJointOptions()) })
+	return e.cache.joint
 }
 
 // Result is one experiment's regenerated artifact.

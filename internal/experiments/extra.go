@@ -136,7 +136,7 @@ func E18(env *Env) (*Result, error) {
 // E19 regenerates the failure-cost analysis: core-hours consumed by jobs
 // that produced no result, by exit family and by root cause.
 func E19(env *Env) (*Result, error) {
-	cls := env.D.ClassifyByExit()
+	cls := env.ClassifyByExit()
 	w, err := env.D.Waste(cls)
 	if err != nil {
 		return nil, err

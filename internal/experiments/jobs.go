@@ -51,7 +51,7 @@ func E1(env *Env) (*Result, error) {
 // E2 regenerates the workload-concentration analysis: Lorenz/Gini of jobs
 // and core-hours over users and projects.
 func E2(env *Env) (*Result, error) {
-	cls := env.D.ClassifyByExit()
+	cls := env.ClassifyByExit()
 	res := &Result{ID: "E2", Description: "workload concentration", Metrics: map[string]float64{}}
 	for _, by := range []core.GroupBy{core.ByUser, core.ByProject} {
 		conc, err := env.D.Concentration(by, cls)
@@ -139,8 +139,8 @@ func E3(env *Env) (*Result, error) {
 // E4 regenerates the headline failure table: failures per exit family and
 // the user-vs-system split (paper: 99,245 failures, 99.4% user-caused).
 func E4(env *Env) (*Result, error) {
-	cls := env.D.ClassifyByExit()
-	joint := env.D.ClassifyJoint(core.DefaultJointOptions())
+	cls := env.ClassifyByExit()
+	joint := env.ClassifyJoint()
 	t := &report.Table{
 		Title:   "E4: job failures by exit family",
 		Columns: []string{"family", "jobs", "share of failures"},
@@ -212,7 +212,7 @@ func E5(env *Env) (*Result, error) {
 // E6 regenerates the best-fit distribution table per exit family — the
 // paper's Weibull / Pareto / inverse-Gaussian / Erlang-exponential result.
 func E6(env *Env) (*Result, error) {
-	fits, err := env.D.FitExecutionLengths(core.FitOptions{MinSamples: 100, MaxSamples: 50000})
+	fits, err := env.D.FitExecutionLengths(core.FitOptions{MinSamples: 100, MaxSamples: 50000, Parallelism: env.Parallelism})
 	if err != nil {
 		return nil, err
 	}

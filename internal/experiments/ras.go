@@ -15,7 +15,7 @@ import (
 // E7 regenerates the failure↔user/project correlation analysis: top
 // failing users, identity↔outcome association, jobs↔failures correlation.
 func E7(env *Env) (*Result, error) {
-	cls := env.D.ClassifyByExit()
+	cls := env.ClassifyByExit()
 	res := &Result{ID: "E7", Description: "failure correlation with users/projects", Metrics: map[string]float64{}}
 	for _, by := range []core.GroupBy{core.ByUser, core.ByProject} {
 		conc, err := env.D.Concentration(by, cls)
@@ -184,7 +184,7 @@ func E11(env *Env) (*Result, error) {
 	}
 	metrics := map[string]float64{}
 	for _, r := range rules {
-		sweep, err := core.FilterSweep(env.D.Events, r.rule, filterWindows())
+		sweep, err := core.FilterSweepParallel(env.D.Events, r.rule, filterWindows(), env.Parallelism)
 		if err != nil {
 			return nil, err
 		}
@@ -378,7 +378,7 @@ func safeDiv(a, b float64) float64 {
 // E15 regenerates the interruption↔consumption correlation: per-user
 // core-hours vs system interrupts.
 func E15(env *Env) (*Result, error) {
-	cls := env.D.ClassifyByExit()
+	cls := env.ClassifyByExit()
 	res, err := env.D.InterruptsByUser(cls)
 	if err != nil {
 		return nil, err

@@ -3,7 +3,6 @@ package sim
 import (
 	"math"
 	"math/rand"
-	"sort"
 	"time"
 
 	"repro/internal/machine"
@@ -55,34 +54,41 @@ func hazardFactor(cfg *Config, t time.Time) float64 {
 	return burnIn * wearOut / norm
 }
 
-// buildIncidents draws the fatal-incident timeline over the observation
-// window: a nonhomogeneous Poisson process in time (bathtub hazard, see
-// hazardFactor) with a spatially skewed location law (a few "hot"
-// midplanes absorb HotHazardShare of incidents, giving the strong locality
-// the paper reports).
-func buildIncidents(cfg *Config, rng *rand.Rand) []incident {
-	span := time.Duration(cfg.Days) * 24 * time.Hour
+// hotColdMidplanes draws the global spatial skew of the fault model: the
+// first HotMidplanes of a random permutation are "hot" (they absorb
+// HotHazardShare of incidents, giving the strong locality the paper
+// reports). The partition is shared by every day shard, so it is drawn once
+// from its own serial stream.
+func hotColdMidplanes(cfg *Config, rng *rand.Rand) (hot, cold []int) {
+	perm := rng.Perm(machine.TotalMidplanes)
+	return perm[:cfg.HotMidplanes], perm[cfg.HotMidplanes:]
+}
+
+// buildIncidentsShard draws the fatal-incident timeline of one day shard: a
+// nonhomogeneous Poisson process in time (bathtub hazard, see hazardFactor)
+// with the shared hot/cold location law. The Poisson thinning restarts at
+// the shard boundary, which is exact by memorylessness; neighbor
+// propagation may spill past the shard's end, so the caller re-sorts the
+// concatenated timeline.
+func buildIncidentsShard(cfg *Config, hot, cold []int, sh dayShard, rng *rand.Rand) []incident {
 	rate := cfg.IncidentsPerYear / (365 * 24 * float64(time.Hour/time.Second)) // per second
 	catalog := fatalCatalog()
 	if len(catalog) == 0 || rate <= 0 {
 		return nil
 	}
-
-	// Hot midplanes: the first HotMidplanes of a random permutation.
-	perm := rng.Perm(machine.TotalMidplanes)
-	hot := perm[:cfg.HotMidplanes]
-	cold := perm[cfg.HotMidplanes:]
+	start := cfg.Start.Add(time.Duration(sh.Lo) * 24 * time.Hour)
+	end := cfg.Start.Add(time.Duration(sh.Hi) * 24 * time.Hour)
 
 	// Thinning envelope: hazardFactor is bounded by 2.2/norm ≤ 2.2.
 	const maxFactor = 2.2
 	var incidents []incident
-	t := cfg.Start
+	t := start
 	for {
 		// Exponential inter-arrival at the envelope rate, thinned to the
 		// bathtub intensity.
 		gap := time.Duration(rng.ExpFloat64() / (rate * maxFactor) * float64(time.Second))
 		t = t.Add(gap)
-		if t.After(cfg.Start.Add(span)) {
+		if t.After(end) {
 			break
 		}
 		if rng.Float64() > hazardFactor(cfg, t)/maxFactor {
@@ -140,7 +146,9 @@ func buildIncidents(cfg *Config, rng *rand.Rand) []incident {
 		n := 1 + inc.events/2
 		incidents = append(incidents, incident{at: inc.at.Add(delay), loc: nloc, entry: entry, events: n})
 	}
-	sort.Slice(incidents, func(i, j int) bool { return incidents[i].at.Before(incidents[j].at) })
+	// No sort here: base incidents are time-ordered but propagated ones are
+	// appended out of order (and may land past the shard end); the caller
+	// stable-sorts the concatenated timeline once.
 	return incidents
 }
 
@@ -159,8 +167,10 @@ func warnPrecursorFor(cat raslog.Category) (raslog.CatalogEntry, bool) {
 // expandIncident renders one incident into its burst of FATAL events, plus
 // (with probability PrecursorProb) a handful of WARN precursors on the same
 // hardware in the PrecursorLead window before the incident — the signal the
-// lead-time analysis (E16) mines.
-func expandIncident(cfg *Config, rng *rand.Rand, inc *incident, recID *int64) []raslog.Event {
+// lead-time analysis (E16) mines. Each incident is expanded from its own
+// deterministic RNG, so the bursts fan out across workers; record ids are
+// assigned by the caller once the full stream is assembled.
+func expandIncident(cfg *Config, rng *rand.Rand, inc *incident) []raslog.Event {
 	events := make([]raslog.Event, 0, inc.events)
 	if warnEntry, ok := warnPrecursorFor(inc.entry.Cat); ok && rng.Float64() < cfg.PrecursorProb {
 		n := 1 + rng.Intn(5)
@@ -169,9 +179,7 @@ func expandIncident(cfg *Config, rng *rand.Rand, inc *incident, recID *int64) []
 			if inc.at.Add(-lead).Before(cfg.Start) {
 				lead = inc.at.Sub(cfg.Start) / 2
 			}
-			*recID++
 			events = append(events, raslog.Event{
-				RecID:   *recID,
 				MsgID:   warnEntry.MsgID,
 				Comp:    warnEntry.Comp,
 				Cat:     warnEntry.Cat,
@@ -189,9 +197,7 @@ func expandIncident(cfg *Config, rng *rand.Rand, inc *incident, recID *int64) []
 			at = at.Add(time.Duration(rng.Float64() * float64(cfg.CascadeWindow)))
 		}
 		loc := jitterLocation(rng, inc.loc, inc.entry.LocLevel)
-		*recID++
 		events = append(events, raslog.Event{
-			RecID:   *recID,
 			MsgID:   inc.entry.MsgID,
 			Comp:    inc.entry.Comp,
 			Cat:     inc.entry.Cat,
@@ -244,10 +250,11 @@ func jitterLocation(rng *rand.Rand, root machine.Location, level machine.Level) 
 	}
 }
 
-// buildNoise generates the background INFO/WARN RAS stream (plus FATAL
-// infra messages that never kill jobs) uniformly over the window with
-// mildly skewed locations.
-func buildNoise(cfg *Config, rng *rand.Rand, recID *int64) []raslog.Event {
+// buildNoiseShard generates the background INFO/WARN RAS stream of one day
+// shard (plus FATAL infra messages that never kill jobs) uniformly over the
+// shard window with mildly skewed locations. Record ids are assigned by the
+// caller once the full stream is assembled.
+func buildNoiseShard(cfg *Config, sh dayShard, rng *rand.Rand) []raslog.Event {
 	// Noise is overwhelmingly informational; warnings are a minority and
 	// FATAL infra messages (service-node failover etc.) are rare, matching
 	// the severity mix of production RAS streams.
@@ -281,12 +288,14 @@ func buildNoise(cfg *Config, rng *rand.Rand, recID *int64) []raslog.Event {
 		}
 		return entries[len(entries)-1]
 	}
-	total := int(cfg.NoisePerDay * float64(cfg.Days))
-	span := float64(cfg.Days) * 24 * float64(time.Hour)
+	days := sh.Hi - sh.Lo
+	total := int(cfg.NoisePerDay * float64(days))
+	span := float64(days) * 24 * float64(time.Hour)
+	start := cfg.Start.Add(time.Duration(sh.Lo) * 24 * time.Hour)
 	events := make([]raslog.Event, 0, total)
 	for i := 0; i < total; i++ {
 		entry := pick()
-		at := cfg.Start.Add(time.Duration(rng.Float64() * span))
+		at := start.Add(time.Duration(rng.Float64() * span))
 		var loc machine.Location
 		if entry.LocLevel == machine.LevelSystem {
 			loc = machine.System()
@@ -303,9 +312,7 @@ func buildNoise(cfg *Config, rng *rand.Rand, recID *int64) []raslog.Event {
 			}
 			loc = jitterLocation(rng, mid, entry.LocLevel)
 		}
-		*recID++
 		events = append(events, raslog.Event{
-			RecID:   *recID,
 			MsgID:   entry.MsgID,
 			Comp:    entry.Comp,
 			Cat:     entry.Cat,

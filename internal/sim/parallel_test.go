@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGenerateParallelMatchesSerial is the determinism contract of the
+// sharded generator: for a fixed seed the corpus is bit-identical whether
+// it is built by one worker or many, because shard boundaries and per-shard
+// RNG seeds depend only on the configuration, never on the worker count.
+func TestGenerateParallelMatchesSerial(t *testing.T) {
+	cfg := SmallConfig() // 30 days → two day shards
+	want, err := GenerateParallel(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 3, 8} {
+		got, err := GenerateParallel(cfg, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got.Config, want.Config) {
+			t.Errorf("workers=%d: Config differs", workers)
+		}
+		if !reflect.DeepEqual(got.Jobs, want.Jobs) {
+			t.Errorf("workers=%d: Jobs differ (%d vs %d rows)", workers, len(got.Jobs), len(want.Jobs))
+		}
+		if !reflect.DeepEqual(got.Tasks, want.Tasks) {
+			t.Errorf("workers=%d: Tasks differ (%d vs %d rows)", workers, len(got.Tasks), len(want.Tasks))
+		}
+		if !reflect.DeepEqual(got.Events, want.Events) {
+			t.Errorf("workers=%d: Events differ (%d vs %d rows)", workers, len(got.Events), len(want.Events))
+		}
+		if !reflect.DeepEqual(got.IO, want.IO) {
+			t.Errorf("workers=%d: IO differs (%d vs %d rows)", workers, len(got.IO), len(want.IO))
+		}
+		if got.Truth != want.Truth {
+			t.Errorf("workers=%d: Truth = %+v, want %+v", workers, got.Truth, want.Truth)
+		}
+	}
+}
+
+// TestGenerateIsGenerateParallel pins the convenience wrapper to the
+// parallel path so the two entry points can never drift apart.
+func TestGenerateIsGenerateParallel(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Days = 10
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateParallel(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Generate and GenerateParallel(4) disagree for the same config")
+	}
+}
+
+// TestDayShards checks the shard partition covers the day range exactly
+// once regardless of how the range divides.
+func TestDayShards(t *testing.T) {
+	for _, days := range []int{1, 24, 25, 26, 50, 99, 150, 2001} {
+		shards := dayShards(days)
+		next := 0
+		for _, sh := range shards {
+			if sh.Lo != next {
+				t.Fatalf("days=%d: shard starts at %d, want %d", days, sh.Lo, next)
+			}
+			if sh.Hi <= sh.Lo {
+				t.Fatalf("days=%d: empty shard [%d,%d)", days, sh.Lo, sh.Hi)
+			}
+			next = sh.Hi
+		}
+		if next != days {
+			t.Fatalf("days=%d: shards cover [0,%d)", days, next)
+		}
+	}
+}
+
+// TestShardSeedsDistinct guards against stream collisions: every
+// (salt, shard) pair must get its own RNG seed for a fixed config seed.
+func TestShardSeedsDistinct(t *testing.T) {
+	seen := map[int64][2]int{}
+	for salt := int64(1); salt <= 6; salt++ {
+		for idx := 0; idx < 100; idx++ {
+			s := shardSeed(1, salt, idx)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: (salt=%d, idx=%d) and (salt=%d, idx=%d)", salt, idx, prev[0], prev[1])
+			}
+			seen[s] = [2]int{int(salt), idx}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/iolog"
 	"repro/internal/joblog"
 	"repro/internal/machine"
+	"repro/internal/par"
 	"repro/internal/raslog"
 	"repro/internal/sched"
 	"repro/internal/tasklog"
@@ -97,26 +99,125 @@ func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x any)   { *h = append(*h, x.(simEvent)) }
 func (h *eventHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
 
+// shardDays is the fixed granularity at which the observation window is
+// split for parallel generation. It is a property of the corpus definition,
+// NOT of the machine: shard boundaries and the per-shard RNG seeds depend
+// only on (Config, Seed), so the corpus is bit-identical for any worker
+// count. The phases generated per shard (arrivals, incidents, noise) are
+// Poisson processes, which are memoryless — restarting the inter-arrival
+// draw at a shard boundary leaves the process law unchanged.
+const shardDays = 25
+
+// dayShard is one [Lo, Hi) day range of the observation window.
+type dayShard struct{ Lo, Hi int }
+
+// dayShards splits the observation span into fixed-size day ranges.
+func dayShards(days int) []dayShard {
+	shards := make([]dayShard, 0, (days+shardDays-1)/shardDays)
+	for lo := 0; lo < days; lo += shardDays {
+		hi := lo + shardDays
+		if hi > days {
+			hi = days
+		}
+		shards = append(shards, dayShard{Lo: lo, Hi: hi})
+	}
+	return shards
+}
+
+// Phase salts for the generator's independent RNG sub-streams.
+const (
+	saltPopulation = 1
+	saltArrival    = 2
+	saltIncident   = 3
+	saltLoop       = 4
+	saltNoise      = 5
+	saltCascade    = 6
+)
+
+// shardSeed derives the seed of one shard (or one incident) of a phase from
+// the config seed. splitmix64-style mixing keeps the per-shard streams
+// statistically independent even though the inputs differ in few bits.
+func shardSeed(seed, salt int64, idx int) int64 {
+	z := uint64(seed)*0x9e3779b97f4a7c15 + uint64(salt)<<40 + uint64(idx+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// shardRNG returns the deterministic RNG of one shard of a phase.
+func shardRNG(seed, salt int64, idx int) *rand.Rand {
+	return rand.New(rand.NewSource(shardSeed(seed, salt, idx)))
+}
+
 // Generate produces a corpus from the configuration. The same (Config,
-// Seed) always yields the identical corpus.
+// Seed) always yields the identical corpus. Generation uses all cores; use
+// GenerateParallel to bound the worker count — the corpus is identical
+// either way.
 func Generate(cfg Config) (*Corpus, error) {
+	return GenerateParallel(cfg, 0)
+}
+
+// GenerateParallel generates the corpus with at most workers goroutines
+// (≤ 0 means GOMAXPROCS). The day range is sharded at a fixed granularity
+// with a deterministic per-shard RNG for each generation phase, and shard
+// outputs are concatenated in day order, so the corpus for a given (Config,
+// Seed) is bit-identical regardless of the worker count or GOMAXPROCS. Only
+// the event-driven scheduler replay is serial — it is a global stateful
+// simulation; the random-drawing phases around it (arrivals, incident
+// timeline, cascade expansion, background noise) all fan out.
+func GenerateParallel(cfg Config, workers int) (*Corpus, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	ctx := context.Background()
 	// Independent sub-streams per generation phase keep the phases
 	// decoupled: tuning the workload does not perturb the fault timeline
 	// and vice versa.
 	subRNG := func(salt int64) *rand.Rand {
 		return rand.New(rand.NewSource(cfg.Seed<<20 ^ salt))
 	}
-	pop := buildPopulation(&cfg, subRNG(1))
+	pop := buildPopulation(&cfg, subRNG(saltPopulation))
 	laws := DurationLaws()
+	shards := dayShards(cfg.Days)
 
-	plans := buildArrivals(&cfg, pop, laws, subRNG(2))
-	incidents := buildIncidents(&cfg, subRNG(3))
-	rng := subRNG(4) // tasks + I/O records during the loop
-	noiseRNG := subRNG(5)
-	cascadeRNG := subRNG(6)
+	// Arrivals: one nonhomogeneous Poisson stream per day shard, each from
+	// its own seed, concatenated in day order with ids assigned afterwards
+	// (shards are disjoint in time, so the concatenation is time-ordered).
+	planShards, err := par.Map(ctx, shards, workers, func(s int, sh dayShard) ([]jobPlan, error) {
+		return buildArrivalsShard(&cfg, pop, laws, sh, shardRNG(cfg.Seed, saltArrival, s)), nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	var plans []jobPlan
+	for _, ps := range planShards {
+		plans = append(plans, ps...)
+	}
+	for i := range plans {
+		plans[i].id = int64(i + 1)
+	}
+
+	// Incidents: the hot-midplane set is global (drawn once), the bathtub
+	// Poisson timeline is sharded like the arrivals. Per-shard neighbor
+	// propagation can spill past a shard's end, so the concatenation gets a
+	// final stable time sort.
+	hot, cold := hotColdMidplanes(&cfg, subRNG(saltIncident))
+	incidentShards, err := par.Map(ctx, shards, workers, func(s int, sh dayShard) ([]incident, error) {
+		return buildIncidentsShard(&cfg, hot, cold, sh, shardRNG(cfg.Seed, saltIncident, s)), nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	var incidents []incident
+	for _, is := range incidentShards {
+		incidents = append(incidents, is...)
+	}
+	sort.SliceStable(incidents, func(i, j int) bool { return incidents[i].at.Before(incidents[j].at) })
+
+	rng := subRNG(saltLoop) // tasks + I/O records during the loop
 
 	c := &Corpus{Config: cfg}
 	c.Truth.Incidents = len(incidents)
@@ -309,14 +410,34 @@ func Generate(cfg Config) (*Corpus, error) {
 		}
 	}
 
-	// Render the RAS stream: incident cascades (with job attribution fixed
-	// during the loop) plus background noise, sorted by time.
-	var recID int64
-	events := buildNoise(&cfg, noiseRNG, &recID)
-	for i := range incidents {
-		events = append(events, expandIncident(&cfg, cascadeRNG, &incidents[i], &recID)...)
+	// Render the RAS stream: background noise (sharded by day range) plus
+	// incident cascades (one RNG per incident, with job attribution fixed
+	// during the loop), concatenated in a fixed order, then sorted by time.
+	noiseShards, err := par.Map(ctx, shards, workers, func(s int, sh dayShard) ([]raslog.Event, error) {
+		return buildNoiseShard(&cfg, sh, shardRNG(cfg.Seed, saltNoise, s)), nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	bursts, err := par.Map(ctx, incidents, workers, func(i int, _ incident) ([]raslog.Event, error) {
+		return expandIncident(&cfg, shardRNG(cfg.Seed, saltCascade, i), &incidents[i]), nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	var events []raslog.Event
+	for _, ns := range noiseShards {
+		events = append(events, ns...)
+	}
+	for _, b := range bursts {
+		events = append(events, b...)
 	}
 	events = append(events, serviceEvents...)
+	// Pre-sort record ids make the equal-time tiebreak total, so the final
+	// order is fully determined by the (deterministic) concatenation order.
+	for i := range events {
+		events[i].RecID = int64(i + 1)
+	}
 	sort.Slice(events, func(i, j int) bool {
 		if !events[i].Time.Equal(events[j].Time) {
 			return events[i].Time.Before(events[j].Time)
@@ -334,15 +455,18 @@ func Generate(cfg Config) (*Corpus, error) {
 	return c, nil
 }
 
-// buildArrivals draws the submission stream: a nonhomogeneous Poisson
-// process (diurnal + weekly modulation) with per-user job fates.
-func buildArrivals(cfg *Config, pop *population, laws map[joblog.ExitFamily]dist.Distribution, rng *rand.Rand) []jobPlan {
+// buildArrivalsShard draws the submission stream of one day shard: a
+// nonhomogeneous Poisson process (diurnal + weekly modulation) with
+// per-user job fates. Poisson inter-arrival draws are memoryless, so
+// restarting the stream at the shard boundary preserves the process law.
+// Job ids are assigned after the shards are concatenated.
+func buildArrivalsShard(cfg *Config, pop *population, laws map[joblog.ExitFamily]dist.Distribution, sh dayShard, rng *rand.Rand) []jobPlan {
 	baseRate := cfg.JobsPerDay / (24 * 3600) // per second at factor 1
 	maxFactor := 1.0
-	end := cfg.Start.Add(time.Duration(cfg.Days) * 24 * time.Hour)
+	start := cfg.Start.Add(time.Duration(sh.Lo) * 24 * time.Hour)
+	end := cfg.Start.Add(time.Duration(sh.Hi) * 24 * time.Hour)
 	var plans []jobPlan
-	var id int64
-	t := cfg.Start
+	t := start
 	for {
 		// Thinning with the max-rate envelope.
 		gap := rng.ExpFloat64() / (baseRate * maxFactor)
@@ -353,8 +477,7 @@ func buildArrivals(cfg *Config, pop *population, laws map[joblog.ExitFamily]dist
 		if rng.Float64() > arrivalFactor(cfg, t)/maxFactor {
 			continue
 		}
-		id++
-		plans = append(plans, drawJob(cfg, pop, laws, rng, id, t))
+		plans = append(plans, drawJob(cfg, pop, laws, rng, 0, t))
 	}
 	return plans
 }
