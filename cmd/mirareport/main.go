@@ -5,6 +5,7 @@
 // Usage:
 //
 //	mirareport [-in corpus/] [-days 2001] [-seed 1] [-exp E6] [-takeaways] [-csv out/]
+//	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Without -in, a corpus is generated with the default (or overridden)
 // configuration. Without -exp, every experiment runs. -csv additionally
@@ -16,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/core"
@@ -44,7 +47,35 @@ func run() error {
 	list := flag.Bool("list", false, "list the experiments and exit")
 	csvDir := flag.String("csv", "", "also dump figure/table CSVs into this directory")
 	parallelism := flag.Int("parallelism", 0, "worker bound for corpus generation and the experiment suite (0 = all cores, 1 = serial; results are identical)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mirareport: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mirareport: memprofile:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, exp := range experiments.All() {

@@ -116,10 +116,7 @@ func (d *Dataset) ClassifyJoint(opt JointOptions) *Classification {
 	// failover touches every block "spatially" but kills none of them.
 	var fatals []raslog.Event
 	attributed := map[int64]bool{}
-	for i := range d.Events {
-		if d.Events[i].Sev != raslog.Fatal {
-			continue
-		}
+	for _, i := range d.fatalIdx {
 		if id := d.Events[i].JobID; id != 0 {
 			attributed[id] = true
 		}

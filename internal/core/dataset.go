@@ -31,6 +31,18 @@ type Dataset struct {
 	ioByJob    map[int64]iolog.Record
 	jobByID    map[int64]*joblog.Job
 
+	// Severity-partitioned views into Events, built once: indices of FATAL
+	// and WARN events in time order. Most analyses touch only these slivers
+	// of the stream (FATALs are a tiny fraction of a RAS log), so they scan
+	// the index instead of re-walking and re-testing every event.
+	fatalIdx []int
+	warnIdx  []int
+	infoN    int // events that are neither FATAL nor WARN
+
+	// eventsByJob indexes the events attributed to each job (nonzero JobID),
+	// in time order.
+	eventsByJob map[int64][]int
+
 	start, end time.Time
 }
 
@@ -71,8 +83,46 @@ func NewDataset(jobs []joblog.Job, tasks []tasklog.Task, events []raslog.Event, 
 			d.end = t
 		}
 	}
+	d.eventsByJob = map[int64][]int{}
+	for i := range d.Events {
+		switch d.Events[i].Sev {
+		case raslog.Fatal:
+			d.fatalIdx = append(d.fatalIdx, i)
+		case raslog.Warn:
+			d.warnIdx = append(d.warnIdx, i)
+		default:
+			d.infoN++
+		}
+		if id := d.Events[i].JobID; id != 0 {
+			d.eventsByJob[id] = append(d.eventsByJob[id], i)
+		}
+	}
 	return d, nil
 }
+
+// FatalEvents returns the indices (into Events) of the FATAL events, in time
+// order. The slice is shared — callers must not modify it.
+func (d *Dataset) FatalEvents() []int { return d.fatalIdx }
+
+// WarnEvents returns the indices (into Events) of the WARN events, in time
+// order. The slice is shared — callers must not modify it.
+func (d *Dataset) WarnEvents() []int { return d.warnIdx }
+
+// EventsBetween returns the events with t0 ≤ Time < t1 as a subslice of
+// Events (no copy), found by binary search on the time-sorted stream.
+func (d *Dataset) EventsBetween(t0, t1 time.Time) []raslog.Event {
+	lo := sort.Search(len(d.Events), func(i int) bool { return !d.Events[i].Time.Before(t0) })
+	hi := sort.Search(len(d.Events), func(i int) bool { return !d.Events[i].Time.Before(t1) })
+	if lo >= hi {
+		return nil
+	}
+	return d.Events[lo:hi]
+}
+
+// EventsOf returns the indices (into Events) of the events attributed to the
+// job (nil if none), in time order. The slice is shared — callers must not
+// modify it.
+func (d *Dataset) EventsOf(id int64) []int { return d.eventsByJob[id] }
 
 // Span returns the observation window covered by the dataset.
 func (d *Dataset) Span() (start, end time.Time) { return d.start, d.end }
@@ -135,16 +185,10 @@ func (d *Dataset) Summarize() Summary {
 	}
 	s.Users = len(users)
 	s.Projects = len(projects)
-	for i := range d.Events {
-		s.RASTotal++
-		switch d.Events[i].Sev {
-		case raslog.Fatal:
-			s.RASFatal++
-		case raslog.Warn:
-			s.RASWarn++
-		default:
-			s.RASInfo++
-		}
-	}
+	// Severity tallies come straight from the partition indexes; no rescan.
+	s.RASTotal = len(d.Events)
+	s.RASFatal = len(d.fatalIdx)
+	s.RASWarn = len(d.warnIdx)
+	s.RASInfo = d.infoN
 	return s
 }

@@ -62,20 +62,65 @@ type filterKey struct {
 	loc machine.Location
 }
 
-// FilterFatal coalesces the FATAL events of the stream into incidents under
-// the rule. Events must be sorted by time (Dataset guarantees this).
-func FilterFatal(events []raslog.Event, rule FilterRule) ([]Incident, error) {
-	return FilterBySeverity(events, raslog.Fatal, rule)
+// keyOf computes the similarity key of one event. It depends on the rule's
+// Spatial and SameMessage settings but NOT on the Window, which is what
+// makes keys shareable across the windows of a sweep.
+func keyOf(e *raslog.Event, rule FilterRule) filterKey {
+	k := filterKey{}
+	if rule.SameMessage {
+		k.msg = e.MsgID
+	} else {
+		k.cat = e.Cat
+	}
+	if rule.Spatial > machine.LevelSystem {
+		if e.Loc.Level() >= rule.Spatial {
+			anc, err := e.Loc.Ancestor(rule.Spatial)
+			if err == nil {
+				k.loc = anc
+			} else {
+				k.loc = e.Loc
+			}
+		} else {
+			k.loc = e.Loc
+		}
+	}
+	return k
 }
 
-// FilterBySeverity coalesces the events of one severity into incidents
-// under the rule — FATAL bursts become interruption incidents, WARN bursts
-// become the precursor signals the lead-time analysis mines. Events must be
-// sorted by time.
-func FilterBySeverity(events []raslog.Event, sev raslog.Severity, rule FilterRule) ([]Incident, error) {
-	if err := rule.Validate(); err != nil {
-		return nil, err
+// keyedEvents is the window-independent part of a filter pass: the
+// severity-selected event indices (time order) and their similarity keys.
+// Computing it once and coalescing per window turns a sweep's key work from
+// O(windows × events) into O(events).
+type keyedEvents struct {
+	events []raslog.Event
+	idx    []int       // indices into events, severity-filtered, time order
+	keys   []filterKey // keys[i] belongs to events[idx[i]]
+}
+
+// severityIndex lists the indices of the events with the given severity.
+func severityIndex(events []raslog.Event, sev raslog.Severity) []int {
+	var idx []int
+	for i := range events {
+		if events[i].Sev == sev {
+			idx = append(idx, i)
+		}
 	}
+	return idx
+}
+
+// precomputeKeys computes the similarity key of every indexed event.
+func precomputeKeys(events []raslog.Event, idx []int, rule FilterRule) keyedEvents {
+	keys := make([]filterKey, len(idx))
+	for n, i := range idx {
+		keys[n] = keyOf(&events[i], rule)
+	}
+	return keyedEvents{events: events, idx: idx, keys: keys}
+}
+
+// coalesce folds the keyed events into incidents for one window. The loop
+// body is the original FilterBySeverity coalescing logic, unchanged, so the
+// output is bit-identical to the pre-index implementation.
+func coalesce(ke keyedEvents, window time.Duration) []Incident {
 	open := map[filterKey]int{} // key → index into incidents
 	// jobSeen deduplicates job attributions in O(1) per event: one map for
 	// the whole pass, keyed by (incident index, job id), replacing the old
@@ -87,30 +132,10 @@ func FilterBySeverity(events []raslog.Event, sev raslog.Severity, rule FilterRul
 	}
 	jobSeen := map[incidentJob]struct{}{}
 	var incidents []Incident
-	for i := range events {
-		e := &events[i]
-		if e.Sev != sev {
-			continue
-		}
-		k := filterKey{}
-		if rule.SameMessage {
-			k.msg = e.MsgID
-		} else {
-			k.cat = e.Cat
-		}
-		if rule.Spatial > machine.LevelSystem {
-			if e.Loc.Level() >= rule.Spatial {
-				anc, err := e.Loc.Ancestor(rule.Spatial)
-				if err == nil {
-					k.loc = anc
-				} else {
-					k.loc = e.Loc
-				}
-			} else {
-				k.loc = e.Loc
-			}
-		}
-		if idx, ok := open[k]; ok && e.Time.Sub(incidents[idx].Last) <= rule.Window {
+	for n, i := range ke.idx {
+		e := &ke.events[i]
+		k := ke.keys[n]
+		if idx, ok := open[k]; ok && e.Time.Sub(incidents[idx].Last) <= window {
 			in := &incidents[idx]
 			in.Last = e.Time
 			in.Events++
@@ -132,7 +157,44 @@ func FilterBySeverity(events []raslog.Event, sev raslog.Severity, rule FilterRul
 		}
 		open[k] = len(incidents) - 1
 	}
-	return incidents, nil
+	return incidents
+}
+
+// FilterFatal coalesces the FATAL events of the stream into incidents under
+// the rule. Events must be sorted by time (Dataset guarantees this).
+func FilterFatal(events []raslog.Event, rule FilterRule) ([]Incident, error) {
+	return FilterBySeverity(events, raslog.Fatal, rule)
+}
+
+// FilterBySeverity coalesces the events of one severity into incidents
+// under the rule — FATAL bursts become interruption incidents, WARN bursts
+// become the precursor signals the lead-time analysis mines. Events must be
+// sorted by time.
+func FilterBySeverity(events []raslog.Event, sev raslog.Severity, rule FilterRule) ([]Incident, error) {
+	if err := rule.Validate(); err != nil {
+		return nil, err
+	}
+	return coalesce(precomputeKeys(events, severityIndex(events, sev), rule), rule.Window), nil
+}
+
+// filterIndexed coalesces an already severity-partitioned index list (e.g.
+// a Dataset's FATAL view) so Dataset-level analyses skip the severity scan.
+func filterIndexed(events []raslog.Event, idx []int, rule FilterRule) ([]Incident, error) {
+	if err := rule.Validate(); err != nil {
+		return nil, err
+	}
+	return coalesce(precomputeKeys(events, idx, rule), rule.Window), nil
+}
+
+// FilterFatal coalesces the dataset's FATAL view into incidents, reusing the
+// severity partition built at NewDataset time.
+func (d *Dataset) FilterFatal(rule FilterRule) ([]Incident, error) {
+	return filterIndexed(d.Events, d.fatalIdx, rule)
+}
+
+// FilterWarn coalesces the dataset's WARN view into incidents.
+func (d *Dataset) FilterWarn(rule FilterRule) ([]Incident, error) {
+	return filterIndexed(d.Events, d.warnIdx, rule)
 }
 
 // SweepPoint is one point of the filtering sensitivity sweep.
@@ -155,21 +217,23 @@ func FilterSweep(events []raslog.Event, base FilterRule, windows []time.Duration
 // means GOMAXPROCS). Each window's filter pass is independent and writes
 // its SweepPoint to the slot of its window index, so the sweep is identical
 // to the serial path for any worker count.
+//
+// Similarity keys depend on the rule's Spatial/SameMessage settings but not
+// on the window, so the sweep precomputes them once and each window only
+// pays for coalescing: O(events) key work total instead of
+// O(windows × events).
 func FilterSweepParallel(events []raslog.Event, base FilterRule, windows []time.Duration, workers int) ([]SweepPoint, error) {
-	raw := 0
-	for i := range events {
-		if events[i].Sev == raslog.Fatal {
-			raw++
-		}
-	}
+	idx := severityIndex(events, raslog.Fatal)
+	raw := len(idx)
+	ke := precomputeKeys(events, idx, base)
 	out := make([]SweepPoint, len(windows))
 	err := par.ForEach(context.Background(), len(windows), workers, func(i int) error {
 		rule := base
 		rule.Window = windows[i]
-		incidents, err := FilterFatal(events, rule)
-		if err != nil {
+		if err := rule.Validate(); err != nil {
 			return err
 		}
+		incidents := coalesce(ke, rule.Window)
 		p := SweepPoint{Window: windows[i], Incidents: len(incidents)}
 		if raw > 0 {
 			p.Reduction = 1 - float64(len(incidents))/float64(raw)

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/raslog"
+	"repro/internal/sim"
+)
+
+// The filter-sweep paired benchmark compares the key-precomputed sweep
+// against the pre-index reference (severity re-scan + key recomputation per
+// window) on the same corpus and reports the ratio as "speedup".
+
+var (
+	fbOnce sync.Once
+	fbD    *Dataset
+	fbErr  error
+)
+
+func benchDataset(b *testing.B) *Dataset {
+	b.Helper()
+	fbOnce.Do(func() {
+		cfg := sim.SmallConfig()
+		cfg.Days = 90
+		cfg.NumUsers = 200
+		cfg.NumProjects = 60
+		c, err := sim.Generate(cfg)
+		if err != nil {
+			fbErr = err
+			return
+		}
+		fbD, fbErr = NewDataset(c.Jobs, c.Tasks, c.Events, c.IO)
+	})
+	if fbErr != nil {
+		b.Fatal(fbErr)
+	}
+	return fbD
+}
+
+func sweepWindows() []time.Duration {
+	return []time.Duration{
+		30 * time.Second, time.Minute, 2 * time.Minute, 5 * time.Minute,
+		10 * time.Minute, 20 * time.Minute, 40 * time.Minute, time.Hour,
+		2 * time.Hour, 6 * time.Hour,
+	}
+}
+
+// referenceFilterSweep is the pre-index sweep: each window re-runs the full
+// severity scan and key computation (the old FilterBySeverity), serially.
+func referenceFilterSweep(b *testing.B, events []raslog.Event, base FilterRule, windows []time.Duration) []SweepPoint {
+	b.Helper()
+	raw := 0
+	for i := range events {
+		if events[i].Sev == raslog.Fatal {
+			raw++
+		}
+	}
+	out := make([]SweepPoint, len(windows))
+	for i, w := range windows {
+		rule := base
+		rule.Window = w
+		incidents, err := referenceFilterBySeverity(events, raslog.Fatal, rule)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[i] = SweepPoint{Window: w, Incidents: len(incidents)}
+		if raw > 0 {
+			out[i].Reduction = 1 - float64(len(incidents))/float64(raw)
+		}
+	}
+	return out
+}
+
+// BenchmarkFilterSweepVsReference times the new sweep (single worker, so the
+// comparison isolates the algorithmic change from parallelism) and reports
+// old-time/new-time as "speedup".
+func BenchmarkFilterSweepVsReference(b *testing.B) {
+	d := benchDataset(b)
+	base := DefaultFilterRule()
+	windows := sweepWindows()
+
+	t0 := time.Now()
+	ref := referenceFilterSweep(b, d.Events, base, windows)
+	refTime := time.Since(t0)
+
+	var got []SweepPoint
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		got, err = FilterSweepParallel(d.Events, base, windows, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for i := range got {
+		if got[i] != ref[i] {
+			b.Fatalf("sweep point %d diverges from reference", i)
+		}
+	}
+	if b.N > 0 && b.Elapsed() > 0 {
+		perIter := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		b.ReportMetric(float64(refTime.Nanoseconds())/perIter, "speedup")
+	}
+}
+
+// BenchmarkFilterFatalIndexed measures the Dataset-level filter, which skips
+// the severity scan entirely via the FATAL view.
+func BenchmarkFilterFatalIndexed(b *testing.B) {
+	d := benchDataset(b)
+	rule := DefaultFilterRule()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.FilterFatal(rule); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/raslog"
+)
+
+// referenceFilterBySeverity is a verbatim copy of the pre-index
+// implementation: one pass that re-tests severity and recomputes the
+// similarity key for every event. The equivalence tests pin the
+// key-precomputed path to its exact output.
+func referenceFilterBySeverity(events []raslog.Event, sev raslog.Severity, rule FilterRule) ([]Incident, error) {
+	if err := rule.Validate(); err != nil {
+		return nil, err
+	}
+	open := map[filterKey]int{}
+	type incidentJob struct {
+		incident int
+		job      int64
+	}
+	jobSeen := map[incidentJob]struct{}{}
+	var incidents []Incident
+	for i := range events {
+		e := &events[i]
+		if e.Sev != sev {
+			continue
+		}
+		k := filterKey{}
+		if rule.SameMessage {
+			k.msg = e.MsgID
+		} else {
+			k.cat = e.Cat
+		}
+		if rule.Spatial > machine.LevelSystem {
+			if e.Loc.Level() >= rule.Spatial {
+				anc, err := e.Loc.Ancestor(rule.Spatial)
+				if err == nil {
+					k.loc = anc
+				} else {
+					k.loc = e.Loc
+				}
+			} else {
+				k.loc = e.Loc
+			}
+		}
+		if idx, ok := open[k]; ok && e.Time.Sub(incidents[idx].Last) <= rule.Window {
+			in := &incidents[idx]
+			in.Last = e.Time
+			in.Events++
+			if e.JobID != 0 {
+				if _, dup := jobSeen[incidentJob{idx, e.JobID}]; !dup {
+					jobSeen[incidentJob{idx, e.JobID}] = struct{}{}
+					in.JobIDs = append(in.JobIDs, e.JobID)
+				}
+			}
+			continue
+		}
+		incidents = append(incidents, Incident{
+			First: e.Time, Last: e.Time, Events: 1,
+			Loc: e.Loc, MsgID: e.MsgID, Cat: e.Cat,
+		})
+		if e.JobID != 0 {
+			incidents[len(incidents)-1].JobIDs = []int64{e.JobID}
+			jobSeen[incidentJob{len(incidents) - 1, e.JobID}] = struct{}{}
+		}
+		open[k] = len(incidents) - 1
+	}
+	return incidents, nil
+}
+
+// equivRules spans the similarity settings the analyses use.
+func equivRules() []FilterRule {
+	var rules []FilterRule
+	for _, w := range []time.Duration{time.Minute, 20 * time.Minute, 2 * time.Hour} {
+		for _, sp := range []machine.Level{machine.LevelSystem, machine.LevelRack, machine.LevelMidplane, machine.LevelNode} {
+			for _, sm := range []bool{true, false} {
+				rules = append(rules, FilterRule{Window: w, Spatial: sp, SameMessage: sm})
+			}
+		}
+	}
+	return rules
+}
+
+func TestFilterBySeverityMatchesReference(t *testing.T) {
+	d, _ := dataset(t)
+	for _, rule := range equivRules() {
+		for _, sev := range []raslog.Severity{raslog.Fatal, raslog.Warn} {
+			want, err := referenceFilterBySeverity(d.Events, sev, rule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := FilterBySeverity(d.Events, sev, rule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("rule %+v sev %v: %d incidents vs %d (or contents differ)",
+					rule, sev, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestDatasetFilterMatchesSliceFilter(t *testing.T) {
+	d, _ := dataset(t)
+	for _, rule := range equivRules() {
+		wantF, err := FilterFatal(d.Events, rule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotF, err := d.FilterFatal(rule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotF, wantF) {
+			t.Fatalf("rule %+v: Dataset.FilterFatal diverges from FilterFatal", rule)
+		}
+		wantW, err := FilterBySeverity(d.Events, raslog.Warn, rule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotW, err := d.FilterWarn(rule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotW, wantW) {
+			t.Fatalf("rule %+v: Dataset.FilterWarn diverges from FilterBySeverity", rule)
+		}
+	}
+}
+
+func TestFilterSweepMatchesReference(t *testing.T) {
+	d, _ := dataset(t)
+	base := DefaultFilterRule()
+	windows := []time.Duration{
+		30 * time.Second, 5 * time.Minute, 20 * time.Minute, time.Hour, 6 * time.Hour,
+	}
+	raw := len(d.FatalEvents())
+	want := make([]SweepPoint, len(windows))
+	for i, w := range windows {
+		rule := base
+		rule.Window = w
+		incidents, err := referenceFilterBySeverity(d.Events, raslog.Fatal, rule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = SweepPoint{Window: w, Incidents: len(incidents)}
+		if raw > 0 {
+			want[i].Reduction = 1 - float64(len(incidents))/float64(raw)
+		}
+	}
+	got, err := FilterSweep(d.Events, base, windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sweep diverges:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestFilterSweepRejectsBadWindow(t *testing.T) {
+	d, _ := dataset(t)
+	if _, err := FilterSweep(d.Events, DefaultFilterRule(), []time.Duration{time.Minute, 0}); err == nil {
+		t.Error("sweep accepted a non-positive window")
+	}
+}
+
+// TestSeverityViewsPartition checks the index invariants: the views cover
+// the stream exactly once, match the severity they claim, and preserve time
+// order.
+func TestSeverityViewsPartition(t *testing.T) {
+	d, _ := dataset(t)
+	fatal, warn := d.FatalEvents(), d.WarnEvents()
+	seen := make(map[int]bool, len(fatal)+len(warn))
+	for _, idx := range [][]int{fatal, warn} {
+		for n, i := range idx {
+			if seen[i] {
+				t.Fatalf("event %d appears in two views", i)
+			}
+			seen[i] = true
+			if n > 0 && d.Events[idx[n-1]].Time.After(d.Events[i].Time) {
+				t.Fatalf("view out of time order at position %d", n)
+			}
+		}
+	}
+	for _, i := range fatal {
+		if d.Events[i].Sev != raslog.Fatal {
+			t.Fatalf("event %d in FATAL view has severity %v", i, d.Events[i].Sev)
+		}
+	}
+	for _, i := range warn {
+		if d.Events[i].Sev != raslog.Warn {
+			t.Fatalf("event %d in WARN view has severity %v", i, d.Events[i].Sev)
+		}
+	}
+	info := 0
+	for i := range d.Events {
+		if !seen[i] {
+			if s := d.Events[i].Sev; s == raslog.Fatal || s == raslog.Warn {
+				t.Fatalf("event %d (sev %v) missing from its view", i, s)
+			}
+			info++
+		}
+	}
+	s := d.Summarize()
+	if s.RASFatal != len(fatal) || s.RASWarn != len(warn) || s.RASInfo != info || s.RASTotal != len(d.Events) {
+		t.Fatalf("Summarize severity tallies (%d/%d/%d/%d) disagree with views (%d/%d/%d/%d)",
+			s.RASFatal, s.RASWarn, s.RASInfo, s.RASTotal, len(fatal), len(warn), info, len(d.Events))
+	}
+}
+
+func TestEventsBetweenMatchesScan(t *testing.T) {
+	d, _ := dataset(t)
+	start, end := d.Span()
+	spans := []struct{ t0, t1 time.Time }{
+		{start, end.Add(time.Second)},                          // everything
+		{start.Add(24 * time.Hour), start.Add(48 * time.Hour)}, // one day
+		{end.Add(time.Hour), end.Add(2 * time.Hour)},           // past the end
+		{start, start}, // empty half-open
+	}
+	for _, sp := range spans {
+		var want []raslog.Event
+		for i := range d.Events {
+			if !d.Events[i].Time.Before(sp.t0) && d.Events[i].Time.Before(sp.t1) {
+				want = append(want, d.Events[i])
+			}
+		}
+		got := d.EventsBetween(sp.t0, sp.t1)
+		if len(got) != len(want) {
+			t.Fatalf("[%v,%v): %d events vs %d", sp.t0, sp.t1, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].RecID != want[i].RecID {
+				t.Fatalf("[%v,%v): event %d differs", sp.t0, sp.t1, i)
+			}
+		}
+	}
+}
+
+func TestEventsOfMatchesScan(t *testing.T) {
+	d, _ := dataset(t)
+	want := map[int64][]int{}
+	for i := range d.Events {
+		if id := d.Events[i].JobID; id != 0 {
+			want[id] = append(want[id], i)
+		}
+	}
+	for id, idx := range want {
+		if got := d.EventsOf(id); !reflect.DeepEqual(got, idx) {
+			t.Fatalf("EventsOf(%d) = %v, want %v", id, got, idx)
+		}
+	}
+	if got := d.EventsOf(-12345); got != nil {
+		t.Fatalf("EventsOf(unknown) = %v, want nil", got)
+	}
+}

@@ -38,9 +38,9 @@ func (d *Dataset) Locality(level machine.Level) (*LocalityResult, error) {
 	}
 	counts := map[machine.Location]int{}
 	total := 0
-	for i := range d.Events {
+	for _, i := range d.fatalIdx {
 		e := &d.Events[i]
-		if e.Sev != raslog.Fatal || e.Loc.Level() < level {
+		if e.Loc.Level() < level {
 			continue
 		}
 		anc, err := e.Loc.Ancestor(level)

@@ -33,13 +33,11 @@ func (d *Dataset) MTTI(rule FilterRule) (*MTTIResult, error) {
 	if err := rule.Validate(); err != nil {
 		return nil, err
 	}
+	// The FATAL view replaces the full-stream scan; it is time-ordered, so
+	// jobFatal is built in the same order as before.
 	var jobFatal []raslog.Event
-	raw := 0
-	for i := range d.Events {
-		if d.Events[i].Sev != raslog.Fatal {
-			continue
-		}
-		raw++
+	raw := len(d.fatalIdx)
+	for _, i := range d.fatalIdx {
 		if d.Events[i].JobID != 0 {
 			jobFatal = append(jobFatal, d.Events[i])
 		}

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"repro/internal/machine"
-	"repro/internal/raslog"
 	"repro/internal/stats"
 )
 
@@ -50,11 +49,11 @@ func (d *Dataset) LeadTime(rule FilterRule, opt LeadTimeOptions) (*LeadTimeResul
 	if opt.Lookback <= 0 || opt.Level < machine.LevelRack || opt.Level > machine.LevelNode {
 		opt = DefaultLeadTimeOptions()
 	}
-	fatals, err := FilterFatal(d.Events, rule)
+	fatals, err := d.FilterFatal(rule)
 	if err != nil {
 		return nil, err
 	}
-	warns, err := FilterBySeverity(d.Events, raslog.Warn, rule)
+	warns, err := d.FilterWarn(rule)
 	if err != nil {
 		return nil, err
 	}

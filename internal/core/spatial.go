@@ -31,7 +31,7 @@ func (d *Dataset) SpatialCorrelation(rule FilterRule, window time.Duration) (*Sp
 	if window <= 0 {
 		return nil, fmt.Errorf("core: spatial correlation window must be positive")
 	}
-	incidents, err := FilterFatal(d.Events, rule)
+	incidents, err := d.FilterFatal(rule)
 	if err != nil {
 		return nil, err
 	}

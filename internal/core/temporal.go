@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"repro/internal/joblog"
-	"repro/internal/raslog"
 )
 
 // TemporalProfile holds the hour-of-day / day-of-week / monthly activity
@@ -73,11 +72,8 @@ func (d *Dataset) Temporal() *TemporalProfile {
 			p.FailsByMonth[m]++
 		}
 	}
-	for i := range d.Events {
+	for _, i := range d.fatalIdx {
 		e := &d.Events[i]
-		if e.Sev != raslog.Fatal {
-			continue
-		}
 		p.FatalByHour[e.Time.Hour()]++
 		p.FatalByMonth[monthKey(e.Time)]++
 	}

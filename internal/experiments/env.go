@@ -109,43 +109,54 @@ type Experiment struct {
 	Run         func(*Env) (*Result, error)
 }
 
-// All lists every experiment in index order.
-func All() []Experiment {
-	return []Experiment{
-		{"E1", "dataset summary (Table I)", E1},
-		{"E2", "workload concentration by user/project", E2},
-		{"E3", "job structure distributions", E3},
-		{"E4", "exit-status breakdown; user vs system share", E4},
-		{"E5", "execution-length CDFs by outcome", E5},
-		{"E6", "best-fit distributions per exit family", E6},
-		{"E7", "failure correlation with users/projects", E7},
-		{"E8", "failure rate vs job structure", E8},
-		{"E9", "RAS severity/category/component profile", E9},
-		{"E10", "spatial locality of FATAL events", E10},
-		{"E11", "similarity-filtering sensitivity sweep", E11},
-		{"E12", "MTTI and interruption-interval fit", E12},
-		{"E13", "I/O behavior vs job outcome", E13},
-		{"E14", "temporal patterns of jobs and failures", E14},
-		{"E15", "system interruptions vs user consumption", E15},
-		{"E16", "WARN→FATAL precursor lead-time analysis", E16},
-		{"E17", "queue wait and walltime-request accuracy", E17},
-		{"E18", "reliability over the system's life (bathtub)", E18},
-		{"E19", "compute cost of failures (wasted core-hours)", E19},
-		{"E20", "resubmission behaviour and outcome repetition", E20},
-		{"E21", "torus spatial correlation of incidents", E21},
-		{"E22", "availability and repair-time distribution", E22},
-		{"E23", "Kaplan–Meier survival of jobs vs user failure", E23},
+// experimentList is the canonical experiment registry; All returns copies
+// of it and byID indexes it at init.
+var experimentList = []Experiment{
+	{"E1", "dataset summary (Table I)", E1},
+	{"E2", "workload concentration by user/project", E2},
+	{"E3", "job structure distributions", E3},
+	{"E4", "exit-status breakdown; user vs system share", E4},
+	{"E5", "execution-length CDFs by outcome", E5},
+	{"E6", "best-fit distributions per exit family", E6},
+	{"E7", "failure correlation with users/projects", E7},
+	{"E8", "failure rate vs job structure", E8},
+	{"E9", "RAS severity/category/component profile", E9},
+	{"E10", "spatial locality of FATAL events", E10},
+	{"E11", "similarity-filtering sensitivity sweep", E11},
+	{"E12", "MTTI and interruption-interval fit", E12},
+	{"E13", "I/O behavior vs job outcome", E13},
+	{"E14", "temporal patterns of jobs and failures", E14},
+	{"E15", "system interruptions vs user consumption", E15},
+	{"E16", "WARN→FATAL precursor lead-time analysis", E16},
+	{"E17", "queue wait and walltime-request accuracy", E17},
+	{"E18", "reliability over the system's life (bathtub)", E18},
+	{"E19", "compute cost of failures (wasted core-hours)", E19},
+	{"E20", "resubmission behaviour and outcome repetition", E20},
+	{"E21", "torus spatial correlation of incidents", E21},
+	{"E22", "availability and repair-time distribution", E22},
+	{"E23", "Kaplan–Meier survival of jobs vs user failure", E23},
+}
+
+// byID indexes the registry once; ByID was previously a linear scan over a
+// freshly allocated slice on every call.
+var byID = func() map[string]Experiment {
+	m := make(map[string]Experiment, len(experimentList))
+	for _, e := range experimentList {
+		m[e.ID] = e
 	}
+	return m
+}()
+
+// All lists every experiment in index order. The returned slice is a copy;
+// callers may reorder it freely.
+func All() []Experiment {
+	return append([]Experiment(nil), experimentList...)
 }
 
 // ByID returns the experiment with the given ID.
 func ByID(id string) (Experiment, bool) {
-	for _, e := range All() {
-		if e.ID == id {
-			return e, true
-		}
-	}
-	return Experiment{}, false
+	e, ok := byID[id]
+	return e, ok
 }
 
 // sortedMetricKeys returns the metric names in stable order for rendering.

@@ -1,0 +1,53 @@
+package fastcsv
+
+import "strconv"
+
+// The numeric parsers delegate to strconv via a string conversion. The
+// conversion does not escape into the callee, so for the short numeric
+// fields of the log formats the compiler keeps it on the stack — no
+// allocation — while error text and accepted syntax stay exactly those of
+// the strconv functions the codecs used before.
+
+// Int64 parses a base-10 int64 field.
+func Int64(b []byte) (int64, error) {
+	return strconv.ParseInt(string(b), 10, 64)
+}
+
+// Int parses a base-10 int field.
+func Int(b []byte) (int, error) {
+	return strconv.Atoi(string(b))
+}
+
+// Float parses a float64 field.
+func Float(b []byte) (float64, error) {
+	return strconv.ParseFloat(string(b), 64)
+}
+
+// Interner deduplicates the string materialization of byte-slice fields.
+// The categorical columns of the Mira logs (message IDs, components,
+// categories, locations, users, projects, queues) repeat a tiny vocabulary
+// across millions of rows; interning makes the steady-state cost of such a
+// column one map probe instead of one heap string per row. The map probe
+// itself is allocation-free: Go compiles the m[string(b)] lookup without
+// materializing the key.
+//
+// An Interner is not safe for concurrent use; each Reader/Scanner owns one.
+type Interner struct {
+	m map[string]string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{m: make(map[string]string, 64)}
+}
+
+// Intern returns a string equal to b, reusing a previously returned
+// instance when one exists.
+func (in *Interner) Intern(b []byte) string {
+	if s, ok := in.m[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	in.m[s] = s
+	return s
+}

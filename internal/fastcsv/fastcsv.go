@@ -1,0 +1,43 @@
+// Package fastcsv is a minimal, allocation-free CSV codec for the four
+// Mira log formats. The Reader yields records as reused byte-slice fields
+// (no per-record []string or field-string allocations); the Writer builds
+// rows with strconv.Append* into one reused buffer. Both follow RFC-4180
+// quoting exactly as the standard library does, so the Writer's output is
+// byte-identical to encoding/csv with default settings and the Reader
+// accepts everything encoding/csv (strict mode) accepts.
+//
+// The package exists because the log codecs are the hottest I/O paths of
+// the repository: a 2,001-day RAS log holds tens of millions of rows, and
+// encoding/csv allocates one string per field per row. Decoding numeric
+// fields straight from byte slices and interning the (heavily repeated)
+// categorical fields removes nearly all of that garbage.
+package fastcsv
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Parse errors. They mirror the strict-mode behavior of encoding/csv:
+// quotes may not appear bare in unquoted fields, quoted fields must be
+// closed, and a closing quote must be followed by a separator.
+var (
+	// ErrBareQuote reports a '"' inside an unquoted field.
+	ErrBareQuote = errors.New(`bare " in non-quoted field`)
+	// ErrQuote reports an unterminated or misplaced quote in a quoted field.
+	ErrQuote = errors.New(`extraneous or missing " in quoted field`)
+)
+
+// ParseError wraps a parse failure with its 1-based line number.
+type ParseError struct {
+	Line int
+	Err  error
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("fastcsv: line %d: %v", e.Line, e.Err)
+}
+
+// Unwrap returns the underlying error.
+func (e *ParseError) Unwrap() error { return e.Err }

@@ -1,0 +1,266 @@
+package fastcsv
+
+import (
+	"bytes"
+	"encoding/csv"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// readAll decodes every record as [][]string for comparison.
+func readAll(t *testing.T, data string) ([][]string, error) {
+	t.Helper()
+	r := NewReader(strings.NewReader(data))
+	var out [][]string
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		row := make([]string, len(rec))
+		for i, f := range rec {
+			row[i] = string(f)
+		}
+		out = append(out, row)
+	}
+}
+
+func TestReadBasic(t *testing.T) {
+	cases := []struct {
+		in   string
+		want [][]string
+	}{
+		{"a,b,c\n", [][]string{{"a", "b", "c"}}},
+		{"a,b,c", [][]string{{"a", "b", "c"}}},
+		{"a,b,c\r\n", [][]string{{"a", "b", "c"}}},
+		{"a,,c\n,,\n", [][]string{{"a", "", "c"}, {"", "", ""}}},
+		{"a\n\nb\n", [][]string{{"a"}, {"b"}}}, // blank line skipped
+		{`"a","b,b","c""c"` + "\n", [][]string{{"a", "b,b", `c"c`}}},
+		{"\"multi\nline\",x\n", [][]string{{"multi\nline", "x"}}},
+		{"\"multi\r\nline\",x\n", [][]string{{"multi\nline", "x"}}},
+		{`"",x` + "\n", [][]string{{"", "x"}}},
+		{"a,\"b\"\nc,d\n", [][]string{{"a", "b"}, {"c", "d"}}},
+		{"a,b,\n", [][]string{{"a", "b", ""}}},
+		{" lead,x\n", [][]string{{" lead", "x"}}},
+	}
+	for _, c := range cases {
+		got, err := readAll(t, c.in)
+		if err != nil {
+			t.Errorf("%q: unexpected error %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%q: got %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestReadMalformed(t *testing.T) {
+	cases := []struct {
+		in   string
+		want error
+	}{
+		{`a,b"c` + "\n", ErrBareQuote},       // bare quote in unquoted field
+		{`"abc` + "\n", ErrQuote},            // unterminated quote at EOF
+		{`"abc",` + "\n" + `"def`, ErrQuote}, // truncated final row
+		{`"abc"def,x` + "\n", ErrQuote},      // text after closing quote
+	}
+	for _, c := range cases {
+		_, err := readAll(t, c.in)
+		if !errors.Is(err, c.want) {
+			t.Errorf("%q: got error %v, want %v", c.in, err, c.want)
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) || pe.Line < 1 {
+			t.Errorf("%q: error %v carries no line number", c.in, err)
+		}
+	}
+}
+
+// TestReaderMatchesEncodingCSV feeds the same well-formed inputs to both
+// readers and requires identical records.
+func TestReaderMatchesEncodingCSV(t *testing.T) {
+	inputs := []string{
+		"a,b,c\nd,e,f\n",
+		`"x,y",z` + "\n" + `"q""q",r` + "\n",
+		"\"a\nb\",c\n\nd,e\n",
+		"one\ntwo\nthree\n",
+		strings.Repeat("field,"+strings.Repeat("x", 100)+"\n", 50),
+	}
+	for _, in := range inputs {
+		cr := csv.NewReader(strings.NewReader(in))
+		cr.FieldsPerRecord = -1
+		want, err := cr.ReadAll()
+		if err != nil {
+			t.Fatalf("encoding/csv rejected %q: %v", in, err)
+		}
+		got, err := readAll(t, in)
+		if err != nil {
+			t.Fatalf("fastcsv rejected %q: %v", in, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%q: %d records vs %d", in, len(got), len(want))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Errorf("%q record %d: %q vs %q", in, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestWriterMatchesEncodingCSV requires byte-identical output for fields
+// exercising every quoting rule, plus random fuzz rows.
+func TestWriterMatchesEncodingCSV(t *testing.T) {
+	rows := [][]string{
+		{"plain", "", "with,comma", `with"quote`, "with\nnewline"},
+		{" leadspace", "\ttab", "\r", "a\r\nb", `\.`},
+		{"ümlaut", "トウキョウ", `""`, ",", "end"},
+	}
+	rng := rand.New(rand.NewSource(7))
+	alphabet := []rune(`abc,"` + "\n\r \t" + `xyz0123456789`)
+	for i := 0; i < 200; i++ {
+		row := make([]string, 1+rng.Intn(6))
+		for j := range row {
+			var sb strings.Builder
+			for k := rng.Intn(12); k > 0; k-- {
+				sb.WriteRune(alphabet[rng.Intn(len(alphabet))])
+			}
+			row[j] = sb.String()
+		}
+		rows = append(rows, row)
+	}
+
+	var want bytes.Buffer
+	cw := csv.NewWriter(&want)
+	if err := cw.WriteAll(rows); err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	w := NewWriter(&got)
+	for _, row := range rows {
+		for _, f := range row {
+			w.String(f)
+		}
+		w.EndRecord()
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("writer output differs from encoding/csv:\n got: %q\nwant: %q",
+			got.String(), want.String())
+	}
+}
+
+func TestWriterNumericFields(t *testing.T) {
+	var got bytes.Buffer
+	w := NewWriter(&got)
+	w.Int64(-9007199254740993)
+	w.Int(42)
+	w.Float(1234.5678, 3)
+	w.String("x")
+	w.EndRecord()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	const want = "-9007199254740993,42,1234.568,x\n"
+	if got.String() != want {
+		t.Errorf("got %q, want %q", got.String(), want)
+	}
+}
+
+// TestRoundTrip pushes adversarial rows through Writer then Reader.
+func TestRoundTrip(t *testing.T) {
+	rows := [][]string{
+		{"a", "b,c", `d"e`, "f\ng", ""},
+		{"", "", ""},
+		{strings.Repeat("long", 40000)}, // > bufio buffer, forces lineBuf path
+		{" space", "\rcarriage", "plain"},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, row := range rows {
+		for _, f := range row {
+			w.String(f)
+		}
+		w.EndRecord()
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readAll(t, buf.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The all-empty row is written as ",," — not a blank line — so every
+	// row survives (encoding/csv behaves identically).
+	want := rows
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestTruncatedRow(t *testing.T) {
+	// A record cut mid-quoted-field must error, not silently truncate.
+	data := "h1,h2\nv1,\"v2 unterminated"
+	recs, err := readAll(t, data)
+	if err == nil {
+		t.Fatalf("truncated row accepted: %q", recs)
+	}
+}
+
+func TestNumericHelpers(t *testing.T) {
+	if v, err := Int64([]byte("-12345678901")); err != nil || v != -12345678901 {
+		t.Errorf("Int64 = %d, %v", v, err)
+	}
+	if v, err := Int([]byte("99")); err != nil || v != 99 {
+		t.Errorf("Int = %d, %v", v, err)
+	}
+	if v, err := Float([]byte("3.250")); err != nil || v != 3.25 {
+		t.Errorf("Float = %v, %v", v, err)
+	}
+	for _, bad := range []string{"", "x", "1.2.3", "--4"} {
+		if _, err := Int64([]byte(bad)); err == nil {
+			t.Errorf("Int64(%q) accepted", bad)
+		}
+	}
+}
+
+func TestInterner(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern([]byte("R00-M0"))
+	b := in.Intern([]byte("R00-M0"))
+	if a != b {
+		t.Error("values differ")
+	}
+	// Same backing storage, not just equal content.
+	if &[]byte(a)[0] != &[]byte(b)[0] {
+		t.Error("intern did not deduplicate storage")
+	}
+}
+
+func TestReaderReuseSafety(t *testing.T) {
+	// Fields from a previous Read must not alias the next record's data in
+	// a way that changes already-copied strings.
+	r := NewReader(strings.NewReader("first,one\nsecond,two\n"))
+	rec, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := string(rec[0])
+	if _, err := r.Read(); err != nil {
+		t.Fatal(err)
+	}
+	if keep != "first" {
+		t.Errorf("copied string mutated: %q", keep)
+	}
+}

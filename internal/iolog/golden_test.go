@@ -1,0 +1,79 @@
+package iolog
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// legacyWriteCSV is a verbatim copy of the encoding/csv-based encoder this
+// package shipped before the fastcsv migration.
+func legacyWriteCSV(w io.Writer, records []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("iolog: write header: %w", err)
+	}
+	row := make([]string, len(header))
+	for i := range records {
+		r := &records[i]
+		row[0] = strconv.FormatInt(r.JobID, 10)
+		row[1] = strconv.FormatInt(r.BytesRead, 10)
+		row[2] = strconv.FormatInt(r.BytesWritten, 10)
+		row[3] = strconv.Itoa(r.FilesRead)
+		row[4] = strconv.Itoa(r.FilesWritten)
+		row[5] = strconv.FormatInt(r.MetaOps, 10)
+		row[6] = strconv.FormatFloat(r.IOTime.Seconds(), 'f', 3, 64)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("iolog: write job %d: %w", r.JobID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func goldenRecords() []Record {
+	r1 := sampleRecord()
+	r2 := sampleRecord()
+	r2.JobID = 12
+	r2.IOTime = 1234 * time.Millisecond // io_time_s keeps 3 decimals
+	r3 := sampleRecord()
+	r3.JobID = 13
+	r3.BytesRead = 0
+	r3.IOTime = 0
+	return []Record{r1, r2, r3}
+}
+
+func TestWriteCSVMatchesLegacy(t *testing.T) {
+	records := goldenRecords()
+	var oldBuf, newBuf bytes.Buffer
+	if err := legacyWriteCSV(&oldBuf, records); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&newBuf, records); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(oldBuf.Bytes(), newBuf.Bytes()) {
+		t.Fatalf("fastcsv encoder output differs from legacy encoding/csv:\n old: %q\n new: %q",
+			oldBuf.String(), newBuf.String())
+	}
+}
+
+func TestReadCSVDecodesLegacyBytes(t *testing.T) {
+	records := goldenRecords()
+	var oldBuf bytes.Buffer
+	if err := legacyWriteCSV(&oldBuf, records); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&oldBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, records) {
+		t.Fatalf("decoding legacy bytes: got %+v, want %+v", got, records)
+	}
+}

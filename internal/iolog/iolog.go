@@ -4,11 +4,11 @@
 package iolog
 
 import (
-	"encoding/csv"
 	"fmt"
 	"io"
-	"strconv"
 	"time"
+
+	"repro/internal/fastcsv"
 )
 
 // Record is one job's I/O summary.
@@ -45,40 +45,57 @@ var header = []string{
 	"meta_ops", "io_time_s",
 }
 
+// writeRecord encodes one I/O summary row.
+func writeRecord(fw *fastcsv.Writer, r *Record) {
+	fw.Int64(r.JobID)
+	fw.Int64(r.BytesRead)
+	fw.Int64(r.BytesWritten)
+	fw.Int(r.FilesRead)
+	fw.Int(r.FilesWritten)
+	fw.Int64(r.MetaOps)
+	fw.Float(r.IOTime.Seconds(), 3)
+	fw.EndRecord()
+}
+
 // WriteCSV writes records to w, header first.
 func WriteCSV(w io.Writer, records []Record) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(header); err != nil {
-		return fmt.Errorf("iolog: write header: %w", err)
+	fw := fastcsv.NewWriter(w)
+	for _, h := range header {
+		fw.String(h)
 	}
-	row := make([]string, len(header))
+	fw.EndRecord()
 	for i := range records {
-		r := &records[i]
-		row[0] = strconv.FormatInt(r.JobID, 10)
-		row[1] = strconv.FormatInt(r.BytesRead, 10)
-		row[2] = strconv.FormatInt(r.BytesWritten, 10)
-		row[3] = strconv.Itoa(r.FilesRead)
-		row[4] = strconv.Itoa(r.FilesWritten)
-		row[5] = strconv.FormatInt(r.MetaOps, 10)
-		row[6] = strconv.FormatFloat(r.IOTime.Seconds(), 'f', 3, 64)
-		if err := cw.Write(row); err != nil {
-			return fmt.Errorf("iolog: write job %d: %w", r.JobID, err)
-		}
+		writeRecord(fw, &records[i])
 	}
-	cw.Flush()
-	return cw.Error()
+	if err := fw.Flush(); err != nil {
+		return fmt.Errorf("iolog: write records: %w", err)
+	}
+	return nil
+}
+
+// headerOK checks field count plus leading column name, the same test the
+// encoding/csv codec applied.
+func headerOK(first [][]byte) bool {
+	return len(first) == len(header) && string(first[0]) == header[0]
+}
+
+func headerStrings(rec [][]byte) []string {
+	out := make([]string, len(rec))
+	for i, f := range rec {
+		out[i] = string(f)
+	}
+	return out
 }
 
 // ReadCSV reads an I/O log written by WriteCSV.
 func ReadCSV(r io.Reader) ([]Record, error) {
-	cr := csv.NewReader(r)
-	cr.ReuseRecord = true
+	cr := fastcsv.NewReader(r)
 	first, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("iolog: read header: %w", err)
 	}
-	if len(first) != len(header) || first[0] != header[0] {
-		return nil, fmt.Errorf("iolog: unexpected header %v", first)
+	if !headerOK(first) {
+		return nil, fmt.Errorf("iolog: unexpected header %v", headerStrings(first))
 	}
 	var records []Record
 	for line := 2; ; line++ {
@@ -98,31 +115,31 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 	return records, nil
 }
 
-func parseRow(rec []string) (Record, error) {
+func parseRow(rec [][]byte) (Record, error) {
 	if len(rec) != len(header) {
 		return Record{}, fmt.Errorf("want %d fields, got %d", len(header), len(rec))
 	}
 	var r Record
 	var err error
-	if r.JobID, err = strconv.ParseInt(rec[0], 10, 64); err != nil {
+	if r.JobID, err = fastcsv.Int64(rec[0]); err != nil {
 		return Record{}, fmt.Errorf("job_id: %w", err)
 	}
-	if r.BytesRead, err = strconv.ParseInt(rec[1], 10, 64); err != nil {
+	if r.BytesRead, err = fastcsv.Int64(rec[1]); err != nil {
 		return Record{}, fmt.Errorf("bytes_read: %w", err)
 	}
-	if r.BytesWritten, err = strconv.ParseInt(rec[2], 10, 64); err != nil {
+	if r.BytesWritten, err = fastcsv.Int64(rec[2]); err != nil {
 		return Record{}, fmt.Errorf("bytes_written: %w", err)
 	}
-	if r.FilesRead, err = strconv.Atoi(rec[3]); err != nil {
+	if r.FilesRead, err = fastcsv.Int(rec[3]); err != nil {
 		return Record{}, fmt.Errorf("files_read: %w", err)
 	}
-	if r.FilesWritten, err = strconv.Atoi(rec[4]); err != nil {
+	if r.FilesWritten, err = fastcsv.Int(rec[4]); err != nil {
 		return Record{}, fmt.Errorf("files_written: %w", err)
 	}
-	if r.MetaOps, err = strconv.ParseInt(rec[5], 10, 64); err != nil {
+	if r.MetaOps, err = fastcsv.Int64(rec[5]); err != nil {
 		return Record{}, fmt.Errorf("meta_ops: %w", err)
 	}
-	secs, err := strconv.ParseFloat(rec[6], 64)
+	secs, err := fastcsv.Float(rec[6])
 	if err != nil {
 		return Record{}, fmt.Errorf("io_time_s: %w", err)
 	}

@@ -1,14 +1,15 @@
 package iolog
 
 import (
-	"encoding/csv"
 	"fmt"
 	"io"
+
+	"repro/internal/fastcsv"
 )
 
 // Scanner streams an I/O CSV log one record at a time.
 type Scanner struct {
-	cr   *csv.Reader
+	cr   *fastcsv.Reader
 	cur  Record
 	err  error
 	line int
@@ -17,14 +18,13 @@ type Scanner struct {
 
 // NewScanner validates the header and returns a streaming reader.
 func NewScanner(r io.Reader) (*Scanner, error) {
-	cr := csv.NewReader(r)
-	cr.ReuseRecord = true
+	cr := fastcsv.NewReader(r)
 	first, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("iolog: read header: %w", err)
 	}
-	if len(first) != len(header) || first[0] != header[0] {
-		return nil, fmt.Errorf("iolog: unexpected header %v", first)
+	if !headerOK(first) {
+		return nil, fmt.Errorf("iolog: unexpected header %v", headerStrings(first))
 	}
 	return &Scanner{cr: cr, line: 1}, nil
 }

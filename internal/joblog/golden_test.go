@@ -1,0 +1,85 @@
+package joblog
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// legacyWriteCSV is a verbatim copy of the encoding/csv-based encoder this
+// package shipped before the fastcsv migration.
+func legacyWriteCSV(w io.Writer, jobs []Job) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("joblog: write header: %w", err)
+	}
+	row := make([]string, len(header))
+	for i := range jobs {
+		j := &jobs[i]
+		row[0] = strconv.FormatInt(j.ID, 10)
+		row[1] = j.User
+		row[2] = j.Project
+		row[3] = j.Queue
+		row[4] = strconv.FormatInt(j.Submit.Unix(), 10)
+		row[5] = strconv.FormatInt(j.Start.Unix(), 10)
+		row[6] = strconv.FormatInt(j.End.Unix(), 10)
+		row[7] = strconv.FormatInt(int64(j.WalltimeReq/time.Second), 10)
+		row[8] = strconv.Itoa(j.Nodes)
+		row[9] = strconv.Itoa(j.RanksPerNode)
+		row[10] = strconv.Itoa(j.NumTasks)
+		row[11] = strconv.Itoa(j.ExitStatus)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("joblog: write job %d: %w", j.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func goldenJobs() []Job {
+	j1 := sampleJob()
+	j2 := sampleJob()
+	j2.ID = 12346
+	j2.Project = `quoted "proj", with comma`
+	j2.Queue = "backfill\nnl"
+	j2.ExitStatus = ExitSuccess
+	j3 := sampleJob()
+	j3.ID = 12347
+	j3.User = " spaced"
+	return []Job{j1, j2, j3}
+}
+
+func TestWriteCSVMatchesLegacy(t *testing.T) {
+	jobs := goldenJobs()
+	var oldBuf, newBuf bytes.Buffer
+	if err := legacyWriteCSV(&oldBuf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&newBuf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(oldBuf.Bytes(), newBuf.Bytes()) {
+		t.Fatalf("fastcsv encoder output differs from legacy encoding/csv:\n old: %q\n new: %q",
+			oldBuf.String(), newBuf.String())
+	}
+}
+
+func TestReadCSVDecodesLegacyBytes(t *testing.T) {
+	jobs := goldenJobs()
+	var oldBuf bytes.Buffer
+	if err := legacyWriteCSV(&oldBuf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&oldBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, jobs) {
+		t.Fatalf("decoding legacy bytes: got %+v, want %+v", got, jobs)
+	}
+}

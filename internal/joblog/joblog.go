@@ -6,11 +6,11 @@
 package joblog
 
 import (
-	"encoding/csv"
 	"fmt"
 	"io"
-	"strconv"
 	"time"
+
+	"repro/internal/fastcsv"
 )
 
 // Exit statuses follow the POSIX shell convention: 0 is success, 1–127 are
@@ -137,46 +137,72 @@ var header = []string{
 	"exit_status",
 }
 
+// writeJob encodes one job row.
+func writeJob(fw *fastcsv.Writer, j *Job) {
+	fw.Int64(j.ID)
+	fw.String(j.User)
+	fw.String(j.Project)
+	fw.String(j.Queue)
+	fw.Int64(j.Submit.Unix())
+	fw.Int64(j.Start.Unix())
+	fw.Int64(j.End.Unix())
+	fw.Int64(int64(j.WalltimeReq / time.Second))
+	fw.Int(j.Nodes)
+	fw.Int(j.RanksPerNode)
+	fw.Int(j.NumTasks)
+	fw.Int(j.ExitStatus)
+	fw.EndRecord()
+}
+
 // WriteCSV writes jobs to w in the package schema, header first.
 func WriteCSV(w io.Writer, jobs []Job) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(header); err != nil {
-		return fmt.Errorf("joblog: write header: %w", err)
+	fw := fastcsv.NewWriter(w)
+	for _, h := range header {
+		fw.String(h)
 	}
-	row := make([]string, len(header))
+	fw.EndRecord()
 	for i := range jobs {
-		j := &jobs[i]
-		row[0] = strconv.FormatInt(j.ID, 10)
-		row[1] = j.User
-		row[2] = j.Project
-		row[3] = j.Queue
-		row[4] = strconv.FormatInt(j.Submit.Unix(), 10)
-		row[5] = strconv.FormatInt(j.Start.Unix(), 10)
-		row[6] = strconv.FormatInt(j.End.Unix(), 10)
-		row[7] = strconv.FormatInt(int64(j.WalltimeReq/time.Second), 10)
-		row[8] = strconv.Itoa(j.Nodes)
-		row[9] = strconv.Itoa(j.RanksPerNode)
-		row[10] = strconv.Itoa(j.NumTasks)
-		row[11] = strconv.Itoa(j.ExitStatus)
-		if err := cw.Write(row); err != nil {
-			return fmt.Errorf("joblog: write job %d: %w", j.ID, err)
-		}
+		writeJob(fw, &jobs[i])
 	}
-	cw.Flush()
-	return cw.Error()
+	if err := fw.Flush(); err != nil {
+		return fmt.Errorf("joblog: write jobs: %w", err)
+	}
+	return nil
 }
+
+// headerOK checks field count plus leading column name, the same test the
+// encoding/csv codec applied.
+func headerOK(first [][]byte) bool {
+	return len(first) == len(header) && string(first[0]) == header[0]
+}
+
+func headerStrings(rec [][]byte) []string {
+	out := make([]string, len(rec))
+	for i, f := range rec {
+		out[i] = string(f)
+	}
+	return out
+}
+
+// decoder interns the user/project/queue vocabulary, which repeats across
+// nearly every row of a multi-year scheduler log.
+type decoder struct {
+	intern *fastcsv.Interner
+}
+
+func newDecoder() *decoder { return &decoder{intern: fastcsv.NewInterner()} }
 
 // ReadCSV reads a job log written by WriteCSV.
 func ReadCSV(r io.Reader) ([]Job, error) {
-	cr := csv.NewReader(r)
-	cr.ReuseRecord = true
+	cr := fastcsv.NewReader(r)
 	first, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("joblog: read header: %w", err)
 	}
-	if len(first) != len(header) || first[0] != header[0] {
-		return nil, fmt.Errorf("joblog: unexpected header %v", first)
+	if !headerOK(first) {
+		return nil, fmt.Errorf("joblog: unexpected header %v", headerStrings(first))
 	}
+	dec := newDecoder()
 	var jobs []Job
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
@@ -186,7 +212,7 @@ func ReadCSV(r io.Reader) ([]Job, error) {
 		if err != nil {
 			return nil, fmt.Errorf("joblog: line %d: %w", line, err)
 		}
-		j, err := parseRow(rec)
+		j, err := dec.parseRow(rec)
 		if err != nil {
 			return nil, fmt.Errorf("joblog: line %d: %w", line, err)
 		}
@@ -195,33 +221,35 @@ func ReadCSV(r io.Reader) ([]Job, error) {
 	return jobs, nil
 }
 
-func parseRow(rec []string) (Job, error) {
+func (d *decoder) parseRow(rec [][]byte) (Job, error) {
 	if len(rec) != len(header) {
 		return Job{}, fmt.Errorf("want %d fields, got %d", len(header), len(rec))
 	}
 	var j Job
 	var err error
-	if j.ID, err = strconv.ParseInt(rec[0], 10, 64); err != nil {
+	if j.ID, err = fastcsv.Int64(rec[0]); err != nil {
 		return Job{}, fmt.Errorf("job_id: %w", err)
 	}
-	j.User, j.Project, j.Queue = rec[1], rec[2], rec[3]
-	ints := make([]int64, 0, 8)
-	for _, idx := range []int{4, 5, 6, 7} {
-		v, err := strconv.ParseInt(rec[idx], 10, 64)
+	j.User = d.intern.Intern(rec[1])
+	j.Project = d.intern.Intern(rec[2])
+	j.Queue = d.intern.Intern(rec[3])
+	var ints [4]int64
+	for n, idx := range [...]int{4, 5, 6, 7} {
+		v, err := fastcsv.Int64(rec[idx])
 		if err != nil {
 			return Job{}, fmt.Errorf("%s: %w", header[idx], err)
 		}
-		ints = append(ints, v)
+		ints[n] = v
 	}
 	j.Submit = time.Unix(ints[0], 0).UTC()
 	j.Start = time.Unix(ints[1], 0).UTC()
 	j.End = time.Unix(ints[2], 0).UTC()
 	j.WalltimeReq = time.Duration(ints[3]) * time.Second
-	for _, f := range []struct {
+	for _, f := range [...]struct {
 		idx int
 		dst *int
 	}{{8, &j.Nodes}, {9, &j.RanksPerNode}, {10, &j.NumTasks}, {11, &j.ExitStatus}} {
-		v, err := strconv.Atoi(rec[f.idx])
+		v, err := fastcsv.Int(rec[f.idx])
 		if err != nil {
 			return Job{}, fmt.Errorf("%s: %w", header[f.idx], err)
 		}

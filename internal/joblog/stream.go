@@ -1,15 +1,17 @@
 package joblog
 
 import (
-	"encoding/csv"
 	"fmt"
 	"io"
+
+	"repro/internal/fastcsv"
 )
 
 // Scanner streams a job CSV log one record at a time; the scheduler log of
 // a multi-year window need not fit in memory for single-pass analyses.
 type Scanner struct {
-	cr   *csv.Reader
+	cr   *fastcsv.Reader
+	dec  *decoder
 	cur  Job
 	err  error
 	line int
@@ -18,16 +20,15 @@ type Scanner struct {
 
 // NewScanner validates the header and returns a streaming reader.
 func NewScanner(r io.Reader) (*Scanner, error) {
-	cr := csv.NewReader(r)
-	cr.ReuseRecord = true
+	cr := fastcsv.NewReader(r)
 	first, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("joblog: read header: %w", err)
 	}
-	if len(first) != len(header) || first[0] != header[0] {
-		return nil, fmt.Errorf("joblog: unexpected header %v", first)
+	if !headerOK(first) {
+		return nil, fmt.Errorf("joblog: unexpected header %v", headerStrings(first))
 	}
-	return &Scanner{cr: cr, line: 1}, nil
+	return &Scanner{cr: cr, dec: newDecoder(), line: 1}, nil
 }
 
 // Scan advances to the next job; false at EOF or error (check Err).
@@ -45,7 +46,7 @@ func (s *Scanner) Scan() bool {
 		s.err = fmt.Errorf("joblog: line %d: %w", s.line, err)
 		return false
 	}
-	j, err := parseRow(rec)
+	j, err := s.dec.parseRow(rec)
 	if err != nil {
 		s.err = fmt.Errorf("joblog: line %d: %w", s.line, err)
 		return false

@@ -1,0 +1,164 @@
+package raslog
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// legacyReadCSV is a verbatim copy of the encoding/csv-based decoder this
+// package shipped before the fastcsv migration, kept for the paired
+// allocation benchmarks (legacyWriteCSV lives in golden_test.go).
+func legacyReadCSV(r io.Reader) ([]Event, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	first, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("raslog: read header: %w", err)
+	}
+	if len(first) != len(header) || first[0] != header[0] {
+		return nil, fmt.Errorf("raslog: unexpected header %v", first)
+	}
+	var events []Event
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("raslog: line %d: %w", line, err)
+		}
+		e, err := legacyParseRow(rec)
+		if err != nil {
+			return nil, fmt.Errorf("raslog: line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	return events, nil
+}
+
+func legacyParseRow(rec []string) (Event, error) {
+	if len(rec) != len(header) {
+		return Event{}, fmt.Errorf("want %d fields, got %d", len(header), len(rec))
+	}
+	var e Event
+	var err error
+	if e.RecID, err = strconv.ParseInt(rec[0], 10, 64); err != nil {
+		return Event{}, fmt.Errorf("rec_id: %w", err)
+	}
+	e.MsgID = rec[1]
+	e.Comp = Component(rec[2])
+	e.Cat = Category(rec[3])
+	if e.Sev, err = ParseSeverity(rec[4]); err != nil {
+		return Event{}, err
+	}
+	ts, err := strconv.ParseInt(rec[5], 10, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("time_unix: %w", err)
+	}
+	e.Time = time.Unix(ts, 0).UTC()
+	if e.Loc, err = machine.ParseLocation(rec[6]); err != nil {
+		return Event{}, err
+	}
+	if e.JobID, err = strconv.ParseInt(rec[7], 10, 64); err != nil {
+		return Event{}, fmt.Errorf("job_id: %w", err)
+	}
+	if e.Count, err = strconv.Atoi(rec[8]); err != nil {
+		return Event{}, fmt.Errorf("count: %w", err)
+	}
+	e.Message = rec[9]
+	return e, nil
+}
+
+// benchEvents synthesizes a log with the vocabulary repetition of a real RAS
+// stream: a handful of message IDs and locations across many rows.
+func benchEvents(n int) []Event {
+	msgs := []string{"00040003", "00080001", "000A0002", "00100009"}
+	base := time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC)
+	events := make([]Event, n)
+	for i := range events {
+		loc, err := machine.Node(i%48, i%2, i%16, i%32)
+		if err != nil {
+			panic(err)
+		}
+		events[i] = Event{
+			RecID: int64(i + 1), MsgID: msgs[i%len(msgs)], Comp: CompDDR,
+			Cat: CatMemory, Sev: Severity(1 + i%3),
+			Time: base.Add(time.Duration(i) * time.Second), Loc: loc,
+			JobID: int64(i % 977), Count: 1 + i%3,
+			Message: "DDR correctable error summary",
+		}
+	}
+	return events
+}
+
+// BenchmarkEncodeVsLegacy reports bytes/op timing of the fastcsv encoder and
+// the allocation reduction versus the legacy encoding/csv encoder as
+// "alloc_reduction" (1 − new/old).
+func BenchmarkEncodeVsLegacy(b *testing.B) {
+	events := benchEvents(20000)
+	var sink bytes.Buffer
+	oldAllocs := testing.AllocsPerRun(3, func() {
+		sink.Reset()
+		if err := legacyWriteCSV(&sink, events); err != nil {
+			b.Fatal(err)
+		}
+	})
+	newAllocs := testing.AllocsPerRun(3, func() {
+		sink.Reset()
+		if err := WriteCSV(&sink, events); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.SetBytes(int64(sink.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink.Reset()
+		if err := WriteCSV(&sink, events); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if oldAllocs > 0 {
+		b.ReportMetric(1-newAllocs/oldAllocs, "alloc_reduction")
+		b.ReportMetric(newAllocs/float64(len(events)), "allocs/row")
+	}
+}
+
+// BenchmarkDecodeVsLegacy is the decode-side pair of BenchmarkEncodeVsLegacy.
+func BenchmarkDecodeVsLegacy(b *testing.B) {
+	events := benchEvents(20000)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, events); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	oldAllocs := testing.AllocsPerRun(3, func() {
+		if _, err := legacyReadCSV(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	})
+	newAllocs := testing.AllocsPerRun(3, func() {
+		if _, err := ReadCSV(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadCSV(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if oldAllocs > 0 {
+		b.ReportMetric(1-newAllocs/oldAllocs, "alloc_reduction")
+		b.ReportMetric(newAllocs/float64(len(events)), "allocs/row")
+	}
+}

@@ -9,12 +9,11 @@
 package raslog
 
 import (
-	"encoding/csv"
 	"fmt"
 	"io"
-	"strconv"
 	"time"
 
+	"repro/internal/fastcsv"
 	"repro/internal/machine"
 )
 
@@ -182,44 +181,106 @@ var header = []string{
 	"location", "job_id", "count", "message",
 }
 
+// encoder caches the per-column string materializations shared by WriteCSV
+// and the streaming Writer: hardware locations repeat heavily, so their
+// String() rendering is computed once per distinct location.
+type encoder struct {
+	fw   *fastcsv.Writer
+	locs map[machine.Location]string
+}
+
+func newEncoder(w io.Writer) *encoder {
+	fw := fastcsv.NewWriter(w)
+	for _, h := range header {
+		fw.String(h)
+	}
+	fw.EndRecord()
+	return &encoder{fw: fw, locs: make(map[machine.Location]string, 256)}
+}
+
+func (enc *encoder) event(e *Event) {
+	fw := enc.fw
+	fw.Int64(e.RecID)
+	fw.String(e.MsgID)
+	fw.String(string(e.Comp))
+	fw.String(string(e.Cat))
+	fw.String(e.Sev.String())
+	fw.Int64(e.Time.Unix())
+	s, ok := enc.locs[e.Loc]
+	if !ok {
+		s = e.Loc.String()
+		enc.locs[e.Loc] = s
+	}
+	fw.String(s)
+	fw.Int64(e.JobID)
+	fw.Int(e.Count)
+	fw.String(e.Message)
+	fw.EndRecord()
+}
+
 // WriteCSV writes events to w, header first.
 func WriteCSV(w io.Writer, events []Event) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(header); err != nil {
-		return fmt.Errorf("raslog: write header: %w", err)
-	}
-	row := make([]string, len(header))
+	enc := newEncoder(w)
 	for i := range events {
-		e := &events[i]
-		row[0] = strconv.FormatInt(e.RecID, 10)
-		row[1] = e.MsgID
-		row[2] = string(e.Comp)
-		row[3] = string(e.Cat)
-		row[4] = e.Sev.String()
-		row[5] = strconv.FormatInt(e.Time.Unix(), 10)
-		row[6] = e.Loc.String()
-		row[7] = strconv.FormatInt(e.JobID, 10)
-		row[8] = strconv.Itoa(e.Count)
-		row[9] = e.Message
-		if err := cw.Write(row); err != nil {
-			return fmt.Errorf("raslog: write event %d: %w", e.RecID, err)
-		}
+		enc.event(&events[i])
 	}
-	cw.Flush()
-	return cw.Error()
+	if err := enc.fw.Flush(); err != nil {
+		return fmt.Errorf("raslog: write events: %w", err)
+	}
+	return nil
+}
+
+// decoder caches the per-column parses shared by ReadCSV and the streaming
+// Scanner: the categorical columns (message id, component, category,
+// message text) intern to a tiny vocabulary, and location strings parse
+// once per distinct location instead of once per row.
+type decoder struct {
+	intern *fastcsv.Interner
+	locs   map[string]machine.Location
+}
+
+func newDecoder() *decoder {
+	return &decoder{intern: fastcsv.NewInterner(), locs: make(map[string]machine.Location, 256)}
+}
+
+func (d *decoder) location(b []byte) (machine.Location, error) {
+	if loc, ok := d.locs[string(b)]; ok {
+		return loc, nil
+	}
+	loc, err := machine.ParseLocation(string(b))
+	if err != nil {
+		return machine.Location{}, err
+	}
+	d.locs[string(b)] = loc
+	return loc, nil
+}
+
+// headerOK checks the first record the way the encoding/csv codec did:
+// field count plus leading column name.
+func headerOK(first [][]byte) bool {
+	return len(first) == len(header) && string(first[0]) == header[0]
+}
+
+// headerStrings materializes a record for error messages only.
+func headerStrings(rec [][]byte) []string {
+	out := make([]string, len(rec))
+	for i, f := range rec {
+		out[i] = string(f)
+	}
+	return out
 }
 
 // ReadCSV reads an event log written by WriteCSV.
 func ReadCSV(r io.Reader) ([]Event, error) {
-	cr := csv.NewReader(r)
-	cr.ReuseRecord = true
+	cr := fastcsv.NewReader(r)
 	first, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("raslog: read header: %w", err)
 	}
-	if len(first) != len(header) || first[0] != header[0] {
-		return nil, fmt.Errorf("raslog: unexpected header %v", first)
+	if !headerOK(first) {
+		return nil, fmt.Errorf("raslog: unexpected header %v", headerStrings(first))
 	}
+	dec := newDecoder()
 	var events []Event
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
@@ -229,7 +290,7 @@ func ReadCSV(r io.Reader) ([]Event, error) {
 		if err != nil {
 			return nil, fmt.Errorf("raslog: line %d: %w", line, err)
 		}
-		e, err := parseRow(rec)
+		e, err := dec.parseRow(rec)
 		if err != nil {
 			return nil, fmt.Errorf("raslog: line %d: %w", line, err)
 		}
@@ -238,35 +299,49 @@ func ReadCSV(r io.Reader) ([]Event, error) {
 	return events, nil
 }
 
-func parseRow(rec []string) (Event, error) {
+// parseSeverity parses a severity column without materializing a string.
+func parseSeverity(b []byte) (Severity, error) {
+	switch string(b) {
+	case "INFO":
+		return Info, nil
+	case "WARN":
+		return Warn, nil
+	case "FATAL":
+		return Fatal, nil
+	default:
+		return 0, fmt.Errorf("raslog: unknown severity %q", b)
+	}
+}
+
+func (d *decoder) parseRow(rec [][]byte) (Event, error) {
 	if len(rec) != len(header) {
 		return Event{}, fmt.Errorf("want %d fields, got %d", len(header), len(rec))
 	}
 	var e Event
 	var err error
-	if e.RecID, err = strconv.ParseInt(rec[0], 10, 64); err != nil {
+	if e.RecID, err = fastcsv.Int64(rec[0]); err != nil {
 		return Event{}, fmt.Errorf("rec_id: %w", err)
 	}
-	e.MsgID = rec[1]
-	e.Comp = Component(rec[2])
-	e.Cat = Category(rec[3])
-	if e.Sev, err = ParseSeverity(rec[4]); err != nil {
+	e.MsgID = d.intern.Intern(rec[1])
+	e.Comp = Component(d.intern.Intern(rec[2]))
+	e.Cat = Category(d.intern.Intern(rec[3]))
+	if e.Sev, err = parseSeverity(rec[4]); err != nil {
 		return Event{}, err
 	}
-	ts, err := strconv.ParseInt(rec[5], 10, 64)
+	ts, err := fastcsv.Int64(rec[5])
 	if err != nil {
 		return Event{}, fmt.Errorf("time_unix: %w", err)
 	}
 	e.Time = time.Unix(ts, 0).UTC()
-	if e.Loc, err = machine.ParseLocation(rec[6]); err != nil {
+	if e.Loc, err = d.location(rec[6]); err != nil {
 		return Event{}, err
 	}
-	if e.JobID, err = strconv.ParseInt(rec[7], 10, 64); err != nil {
+	if e.JobID, err = fastcsv.Int64(rec[7]); err != nil {
 		return Event{}, fmt.Errorf("job_id: %w", err)
 	}
-	if e.Count, err = strconv.Atoi(rec[8]); err != nil {
+	if e.Count, err = fastcsv.Int(rec[8]); err != nil {
 		return Event{}, fmt.Errorf("count: %w", err)
 	}
-	e.Message = rec[9]
+	e.Message = d.intern.Intern(rec[9])
 	return e, nil
 }

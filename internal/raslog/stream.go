@@ -1,17 +1,19 @@
 package raslog
 
 import (
-	"encoding/csv"
 	"fmt"
 	"io"
-	"strconv"
 	"time"
+
+	"repro/internal/fastcsv"
 )
 
 // Scanner streams a RAS CSV log one event at a time without materializing
 // the whole slice — RAS logs are the largest of the four sources (the real
 // Mira log holds tens of millions of records), and most analyses are
-// single-pass.
+// single-pass. Decoding goes through the fastcsv byte-slice reader plus
+// the shared column caches, so a scan allocates only for the first
+// occurrence of each categorical value.
 //
 // Usage:
 //
@@ -22,7 +24,8 @@ import (
 //	}
 //	if err := sc.Err(); err != nil { ... }
 type Scanner struct {
-	cr   *csv.Reader
+	cr   *fastcsv.Reader
+	dec  *decoder
 	cur  Event
 	err  error
 	line int
@@ -31,16 +34,15 @@ type Scanner struct {
 
 // NewScanner validates the header and returns a streaming reader.
 func NewScanner(r io.Reader) (*Scanner, error) {
-	cr := csv.NewReader(r)
-	cr.ReuseRecord = true
+	cr := fastcsv.NewReader(r)
 	first, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("raslog: read header: %w", err)
 	}
-	if len(first) != len(header) || first[0] != header[0] {
-		return nil, fmt.Errorf("raslog: unexpected header %v", first)
+	if !headerOK(first) {
+		return nil, fmt.Errorf("raslog: unexpected header %v", headerStrings(first))
 	}
-	return &Scanner{cr: cr, line: 1}, nil
+	return &Scanner{cr: cr, dec: newDecoder(), line: 1}, nil
 }
 
 // Scan advances to the next event. It returns false at EOF or on error;
@@ -59,7 +61,7 @@ func (s *Scanner) Scan() bool {
 		s.err = fmt.Errorf("raslog: line %d: %w", s.line, err)
 		return false
 	}
-	e, err := parseRow(rec)
+	e, err := s.dec.parseRow(rec)
 	if err != nil {
 		s.err = fmt.Errorf("raslog: line %d: %w", s.line, err)
 		return false
@@ -77,33 +79,23 @@ func (s *Scanner) Err() error { return s.err }
 // Writer streams events out one at a time, the counterpart of Scanner for
 // generators that do not want to hold the full log in memory.
 type Writer struct {
-	cw  *csv.Writer
-	row []string
+	enc *encoder
 	n   int
 }
 
 // NewWriter writes the header and returns a streaming writer.
 func NewWriter(w io.Writer) (*Writer, error) {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(header); err != nil {
+	enc := newEncoder(w)
+	if err := enc.fw.Err(); err != nil {
 		return nil, fmt.Errorf("raslog: write header: %w", err)
 	}
-	return &Writer{cw: cw, row: make([]string, len(header))}, nil
+	return &Writer{enc: enc}, nil
 }
 
 // Write appends one event.
 func (w *Writer) Write(e *Event) error {
-	w.row[0] = strconv.FormatInt(e.RecID, 10)
-	w.row[1] = e.MsgID
-	w.row[2] = string(e.Comp)
-	w.row[3] = string(e.Cat)
-	w.row[4] = e.Sev.String()
-	w.row[5] = strconv.FormatInt(e.Time.Unix(), 10)
-	w.row[6] = e.Loc.String()
-	w.row[7] = strconv.FormatInt(e.JobID, 10)
-	w.row[8] = strconv.Itoa(e.Count)
-	w.row[9] = e.Message
-	if err := w.cw.Write(w.row); err != nil {
+	w.enc.event(e)
+	if err := w.enc.fw.Err(); err != nil {
 		return fmt.Errorf("raslog: write event %d: %w", e.RecID, err)
 	}
 	w.n++
@@ -112,8 +104,10 @@ func (w *Writer) Write(e *Event) error {
 
 // Flush flushes buffered rows and reports any write error.
 func (w *Writer) Flush() error {
-	w.cw.Flush()
-	return w.cw.Error()
+	if err := w.enc.fw.Flush(); err != nil {
+		return fmt.Errorf("raslog: flush: %w", err)
+	}
+	return nil
 }
 
 // Count returns how many events have been written.

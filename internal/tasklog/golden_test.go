@@ -1,0 +1,81 @@
+package tasklog
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// legacyWriteCSV is a verbatim copy of the encoding/csv-based encoder this
+// package shipped before the fastcsv migration.
+func legacyWriteCSV(w io.Writer, tasks []Task) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("tasklog: write header: %w", err)
+	}
+	row := make([]string, len(header))
+	for i := range tasks {
+		t := &tasks[i]
+		row[0] = strconv.FormatInt(t.ID, 10)
+		row[1] = strconv.FormatInt(t.JobID, 10)
+		row[2] = t.Block.Name()
+		row[3] = strconv.FormatInt(t.Start.Unix(), 10)
+		row[4] = strconv.FormatInt(t.End.Unix(), 10)
+		row[5] = strconv.Itoa(t.Nodes)
+		row[6] = strconv.Itoa(t.ExitStatus)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("tasklog: write task %d: %w", t.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func goldenTasks() []Task {
+	t1 := sampleTask()
+	t2 := sampleTask()
+	t2.ID = 8
+	t2.Block = machine.Block{BaseMidplane: 0, Midplanes: 96}
+	t2.Nodes = 49152
+	t3 := sampleTask()
+	t3.ID = 9
+	t3.JobID = 4
+	t3.ExitStatus = 137
+	return []Task{t1, t2, t3}
+}
+
+func TestWriteCSVMatchesLegacy(t *testing.T) {
+	tasks := goldenTasks()
+	var oldBuf, newBuf bytes.Buffer
+	if err := legacyWriteCSV(&oldBuf, tasks); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&newBuf, tasks); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(oldBuf.Bytes(), newBuf.Bytes()) {
+		t.Fatalf("fastcsv encoder output differs from legacy encoding/csv:\n old: %q\n new: %q",
+			oldBuf.String(), newBuf.String())
+	}
+}
+
+func TestReadCSVDecodesLegacyBytes(t *testing.T) {
+	tasks := goldenTasks()
+	var oldBuf bytes.Buffer
+	if err := legacyWriteCSV(&oldBuf, tasks); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&oldBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tasks) {
+		t.Fatalf("decoding legacy bytes: got %+v, want %+v", got, tasks)
+	}
+}

@@ -1,14 +1,16 @@
 package tasklog
 
 import (
-	"encoding/csv"
 	"fmt"
 	"io"
+
+	"repro/internal/fastcsv"
 )
 
 // Scanner streams a task CSV log one record at a time.
 type Scanner struct {
-	cr   *csv.Reader
+	cr   *fastcsv.Reader
+	dec  *decoder
 	cur  Task
 	err  error
 	line int
@@ -17,16 +19,15 @@ type Scanner struct {
 
 // NewScanner validates the header and returns a streaming reader.
 func NewScanner(r io.Reader) (*Scanner, error) {
-	cr := csv.NewReader(r)
-	cr.ReuseRecord = true
+	cr := fastcsv.NewReader(r)
 	first, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("tasklog: read header: %w", err)
 	}
-	if len(first) != len(header) || first[0] != header[0] {
-		return nil, fmt.Errorf("tasklog: unexpected header %v", first)
+	if !headerOK(first) {
+		return nil, fmt.Errorf("tasklog: unexpected header %v", headerStrings(first))
 	}
-	return &Scanner{cr: cr, line: 1}, nil
+	return &Scanner{cr: cr, dec: newDecoder(), line: 1}, nil
 }
 
 // Scan advances to the next task; false at EOF or error (check Err).
@@ -44,7 +45,7 @@ func (s *Scanner) Scan() bool {
 		s.err = fmt.Errorf("tasklog: line %d: %w", s.line, err)
 		return false
 	}
-	t, err := parseRow(rec)
+	t, err := s.dec.parseRow(rec)
 	if err != nil {
 		s.err = fmt.Errorf("tasklog: line %d: %w", s.line, err)
 		return false

@@ -5,12 +5,11 @@
 package tasklog
 
 import (
-	"encoding/csv"
 	"fmt"
 	"io"
-	"strconv"
 	"time"
 
+	"repro/internal/fastcsv"
 	"repro/internal/machine"
 )
 
@@ -47,41 +46,96 @@ var header = []string{
 	"task_id", "job_id", "block", "start_unix", "end_unix", "nodes", "exit_status",
 }
 
+// encoder caches block names: a task log references a small set of blocks
+// across millions of rows, so Name() (an fmt.Sprintf) runs once per block.
+type encoder struct {
+	fw    *fastcsv.Writer
+	names map[machine.Block]string
+}
+
+func newEncoder(w io.Writer) *encoder {
+	fw := fastcsv.NewWriter(w)
+	for _, h := range header {
+		fw.String(h)
+	}
+	fw.EndRecord()
+	return &encoder{fw: fw, names: make(map[machine.Block]string)}
+}
+
+func (enc *encoder) task(t *Task) {
+	enc.fw.Int64(t.ID)
+	enc.fw.Int64(t.JobID)
+	name, ok := enc.names[t.Block]
+	if !ok {
+		name = t.Block.Name()
+		enc.names[t.Block] = name
+	}
+	enc.fw.String(name)
+	enc.fw.Int64(t.Start.Unix())
+	enc.fw.Int64(t.End.Unix())
+	enc.fw.Int(t.Nodes)
+	enc.fw.Int(t.ExitStatus)
+	enc.fw.EndRecord()
+}
+
 // WriteCSV writes tasks to w, header first.
 func WriteCSV(w io.Writer, tasks []Task) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write(header); err != nil {
-		return fmt.Errorf("tasklog: write header: %w", err)
-	}
-	row := make([]string, len(header))
+	enc := newEncoder(w)
 	for i := range tasks {
-		t := &tasks[i]
-		row[0] = strconv.FormatInt(t.ID, 10)
-		row[1] = strconv.FormatInt(t.JobID, 10)
-		row[2] = t.Block.Name()
-		row[3] = strconv.FormatInt(t.Start.Unix(), 10)
-		row[4] = strconv.FormatInt(t.End.Unix(), 10)
-		row[5] = strconv.Itoa(t.Nodes)
-		row[6] = strconv.Itoa(t.ExitStatus)
-		if err := cw.Write(row); err != nil {
-			return fmt.Errorf("tasklog: write task %d: %w", t.ID, err)
-		}
+		enc.task(&tasks[i])
 	}
-	cw.Flush()
-	return cw.Error()
+	if err := enc.fw.Flush(); err != nil {
+		return fmt.Errorf("tasklog: write tasks: %w", err)
+	}
+	return nil
+}
+
+// headerOK checks field count plus leading column name, the same test the
+// encoding/csv codec applied.
+func headerOK(first [][]byte) bool {
+	return len(first) == len(header) && string(first[0]) == header[0]
+}
+
+func headerStrings(rec [][]byte) []string {
+	out := make([]string, len(rec))
+	for i, f := range rec {
+		out[i] = string(f)
+	}
+	return out
+}
+
+// decoder caches parsed blocks so ParseBlock (an fmt.Sscanf) runs once per
+// distinct block name rather than once per row.
+type decoder struct {
+	blocks map[string]machine.Block
+}
+
+func newDecoder() *decoder { return &decoder{blocks: make(map[string]machine.Block)} }
+
+func (d *decoder) block(b []byte) (machine.Block, error) {
+	if blk, ok := d.blocks[string(b)]; ok { // alloc-free lookup
+		return blk, nil
+	}
+	s := string(b)
+	blk, err := machine.ParseBlock(s)
+	if err != nil {
+		return machine.Block{}, err
+	}
+	d.blocks[s] = blk
+	return blk, nil
 }
 
 // ReadCSV reads a task log written by WriteCSV.
 func ReadCSV(r io.Reader) ([]Task, error) {
-	cr := csv.NewReader(r)
-	cr.ReuseRecord = true
+	cr := fastcsv.NewReader(r)
 	first, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("tasklog: read header: %w", err)
 	}
-	if len(first) != len(header) || first[0] != header[0] {
-		return nil, fmt.Errorf("tasklog: unexpected header %v", first)
+	if !headerOK(first) {
+		return nil, fmt.Errorf("tasklog: unexpected header %v", headerStrings(first))
 	}
+	dec := newDecoder()
 	var tasks []Task
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
@@ -91,7 +145,7 @@ func ReadCSV(r io.Reader) ([]Task, error) {
 		if err != nil {
 			return nil, fmt.Errorf("tasklog: line %d: %w", line, err)
 		}
-		t, err := parseRow(rec)
+		t, err := dec.parseRow(rec)
 		if err != nil {
 			return nil, fmt.Errorf("tasklog: line %d: %w", line, err)
 		}
@@ -100,35 +154,35 @@ func ReadCSV(r io.Reader) ([]Task, error) {
 	return tasks, nil
 }
 
-func parseRow(rec []string) (Task, error) {
+func (d *decoder) parseRow(rec [][]byte) (Task, error) {
 	if len(rec) != len(header) {
 		return Task{}, fmt.Errorf("want %d fields, got %d", len(header), len(rec))
 	}
 	var t Task
 	var err error
-	if t.ID, err = strconv.ParseInt(rec[0], 10, 64); err != nil {
+	if t.ID, err = fastcsv.Int64(rec[0]); err != nil {
 		return Task{}, fmt.Errorf("task_id: %w", err)
 	}
-	if t.JobID, err = strconv.ParseInt(rec[1], 10, 64); err != nil {
+	if t.JobID, err = fastcsv.Int64(rec[1]); err != nil {
 		return Task{}, fmt.Errorf("job_id: %w", err)
 	}
-	if t.Block, err = machine.ParseBlock(rec[2]); err != nil {
+	if t.Block, err = d.block(rec[2]); err != nil {
 		return Task{}, err
 	}
-	start, err := strconv.ParseInt(rec[3], 10, 64)
+	start, err := fastcsv.Int64(rec[3])
 	if err != nil {
 		return Task{}, fmt.Errorf("start_unix: %w", err)
 	}
-	end, err := strconv.ParseInt(rec[4], 10, 64)
+	end, err := fastcsv.Int64(rec[4])
 	if err != nil {
 		return Task{}, fmt.Errorf("end_unix: %w", err)
 	}
 	t.Start = time.Unix(start, 0).UTC()
 	t.End = time.Unix(end, 0).UTC()
-	if t.Nodes, err = strconv.Atoi(rec[5]); err != nil {
+	if t.Nodes, err = fastcsv.Int(rec[5]); err != nil {
 		return Task{}, fmt.Errorf("nodes: %w", err)
 	}
-	if t.ExitStatus, err = strconv.Atoi(rec[6]); err != nil {
+	if t.ExitStatus, err = fastcsv.Int(rec[6]); err != nil {
 		return Task{}, fmt.Errorf("exit_status: %w", err)
 	}
 	return t, nil

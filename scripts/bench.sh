@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# bench.sh — run the hot-path benchmarks with -benchmem and archive the
+# output as BENCH_<sha>.json (a JSON envelope wrapping the raw
+# `go test -bench` text, so results stay machine-readable and diffable
+# across commits).
+#
+# Usage:
+#   scripts/bench.sh [outdir]          # default outdir: bench-results
+#   BENCH_FULL=1 scripts/bench.sh      # also run the repo-root experiment
+#                                      # benches (150-day corpus, slow)
+#
+# The default set is the cheap paired benchmarks: the codec allocation
+# comparisons in internal/raslog (alloc_reduction metric) and the
+# filter-sweep speedup comparison in internal/core (speedup metric).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+outdir="${1:-bench-results}"
+mkdir -p "$outdir"
+
+sha="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
+out="$outdir/BENCH_${sha}.json"
+
+pkgs=(./internal/raslog/ ./internal/core/)
+if [[ "${BENCH_FULL:-0}" == "1" ]]; then
+  pkgs+=(.)
+fi
+
+raw="$(go test -bench=. -benchmem -count=1 -run '^$' "${pkgs[@]}")"
+echo "$raw"
+go run ./scripts/benchjson -out "$out" -sha "$sha" <<<"$raw"
+echo "wrote $out"

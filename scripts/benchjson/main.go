@@ -1,0 +1,52 @@
+// Command benchjson wraps raw `go test -bench` output (stdin) in a JSON
+// envelope with provenance, written by scripts/bench.sh as BENCH_<sha>.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+)
+
+type envelope struct {
+	SHA        string   `json:"sha"`
+	GoVersion  string   `json:"go"`
+	Benchmarks []string `json:"benchmarks"`
+	Raw        string   `json:"raw"`
+}
+
+func main() {
+	out := flag.String("out", "", "output path (empty = stdout)")
+	sha := flag.String("sha", "", "commit SHA the results belong to")
+	flag.Parse()
+
+	raw, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	doc := envelope{SHA: *sha, GoVersion: runtime.Version(), Raw: string(raw)}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, "Benchmark") {
+			doc.Benchmarks = append(doc.Benchmarks, line)
+		}
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
