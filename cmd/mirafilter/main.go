@@ -1,10 +1,15 @@
-// Command mirafilter applies similarity-based event filtering to a RAS CSV
-// log and emits one row per coalesced incident — the streaming version of
-// the paper's filtering step, usable on logs too large to slurp.
+// Command mirafilter applies similarity-based event filtering to a RAS log
+// and emits one row per coalesced incident — the streaming version of the
+// paper's filtering step, usable on logs too large to slurp.
 //
 // Usage:
 //
-//	mirafilter -in ras.csv [-window 20m] [-level midplane] [-by-message] [-severity FATAL]
+//	mirafilter -in ras.csv|corpus.mirapack [-format auto|csv|pack]
+//	           [-window 20m] [-level midplane] [-by-message] [-severity FATAL]
+//
+// The input may be a RAS CSV log (streamed row by row) or a corpus.mirapack
+// binary snapshot (events section decoded in one step, no parse); -format
+// auto sniffs the file's magic bytes.
 //
 // Output columns: first_unix, last_unix, events, location, msg_id,
 // category, job_ids (semicolon-separated).
@@ -21,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/pack"
 	"repro/internal/raslog"
 )
 
@@ -32,7 +38,8 @@ func main() {
 }
 
 func run() error {
-	in := flag.String("in", "", "RAS CSV log (required)")
+	in := flag.String("in", "", "RAS CSV log or corpus.mirapack snapshot (required)")
+	format := flag.String("format", "auto", "input format: auto (sniff), csv, pack")
 	window := flag.Duration("window", 20*time.Minute, "temporal coalescing window")
 	level := flag.String("level", "midplane", "spatial similarity level: system|rack|midplane|node-board|node")
 	byMsg := flag.Bool("by-message", true, "require identical message IDs (false: same category)")
@@ -54,26 +61,8 @@ func run() error {
 		return err
 	}
 
-	f, err := os.Open(*in)
+	events, total, err := readSeverity(*in, *format, sev)
 	if err != nil {
-		return err
-	}
-	defer f.Close()
-	sc, err := raslog.NewScanner(f)
-	if err != nil {
-		return err
-	}
-	// Stream the log: the filter needs only the matching-severity events,
-	// which are a small fraction of the stream, so collect just those.
-	var events []raslog.Event
-	total := 0
-	for sc.Scan() {
-		total++
-		if e := sc.Event(); e.Sev == sev {
-			events = append(events, e)
-		}
-	}
-	if err := sc.Err(); err != nil {
 		return err
 	}
 	incidents, err := core.FilterBySeverity(events, sev, rule)
@@ -110,6 +99,51 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "read %d events, %d %s; emitted %d incidents (%.1fx reduction)\n",
 		total, len(events), sev, len(incidents), reduction(len(events), len(incidents)))
 	return nil
+}
+
+// readSeverity returns the matching-severity events from a RAS CSV log or
+// a binary snapshot, plus the total event count seen.
+func readSeverity(in, format string, sev raslog.Severity) ([]raslog.Event, int, error) {
+	ft, err := pack.ParseFormat(format)
+	if err != nil {
+		return nil, 0, err
+	}
+	if ft == pack.FormatPack || (ft == pack.FormatAuto && pack.IsSnapshotFile(in)) {
+		all, err := pack.ReadEventsFile(in)
+		if err != nil {
+			return nil, 0, err
+		}
+		var events []raslog.Event
+		for _, e := range all {
+			if e.Sev == sev {
+				events = append(events, e)
+			}
+		}
+		return events, len(all), nil
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	sc, err := raslog.NewScanner(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Stream the log: the filter needs only the matching-severity events,
+	// which are a small fraction of the stream, so collect just those.
+	var events []raslog.Event
+	total := 0
+	for sc.Scan() {
+		total++
+		if e := sc.Event(); e.Sev == sev {
+			events = append(events, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	return events, total, nil
 }
 
 func reduction(raw, filtered int) float64 {

@@ -1,10 +1,12 @@
 // Command miragen generates a synthetic Mira corpus — the job-scheduling,
 // task, RAS and I/O logs described in DESIGN.md — and writes the four CSV
-// files into a directory.
+// files plus a corpus.mirapack binary snapshot into a directory. The
+// snapshot is what mirareport and friends load by default: one read, no
+// parse, prebuilt indexes (see DESIGN.md §10).
 //
 // Usage:
 //
-//	miragen -out corpus/ [-days 2001] [-seed 1] [-small]
+//	miragen -out corpus/ [-days 2001] [-seed 1] [-small] [-pack=false]
 //
 // The full 2001-day corpus (~350k jobs, ~1.25M RAS events) takes roughly
 // half a minute and ~1 GB of RAM; -small generates a 30-day corpus for
@@ -17,8 +19,10 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/core"
 	"repro/internal/iolog"
 	"repro/internal/joblog"
+	"repro/internal/pack"
 	"repro/internal/raslog"
 	"repro/internal/sim"
 	"repro/internal/tasklog"
@@ -36,6 +40,7 @@ func run() error {
 	days := flag.Int("days", 0, "override observation span in days (0 = config default)")
 	seed := flag.Int64("seed", 0, "override RNG seed (0 = config default)")
 	small := flag.Bool("small", false, "use the fast 30-day configuration")
+	writePack := flag.Bool("pack", true, "also write the corpus.mirapack binary snapshot")
 	flag.Parse()
 
 	cfg := sim.DefaultConfig()
@@ -76,6 +81,15 @@ func run() error {
 		return iolog.WriteCSV(f, c.IO)
 	}); err != nil {
 		return err
+	}
+	if *writePack {
+		d, err := core.NewDataset(c.Jobs, c.Tasks, c.Events, c.IO)
+		if err != nil {
+			return err
+		}
+		if err := pack.WriteFile(pack.SnapshotPath(*out), d); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("wrote %s: %d jobs, %d tasks, %d RAS events, %d I/O records\n",
 		*out, len(c.Jobs), len(c.Tasks), len(c.Events), len(c.IO))

@@ -1,15 +1,19 @@
 // Command mirareport runs the paper's analyses — experiments E1–E22 and the
-// 22-takeaway report — over a corpus, either loaded from CSV files written
-// by miragen or generated in memory.
+// 22-takeaway report — over a corpus, either loaded from a directory
+// written by miragen or generated in memory.
 //
 // Usage:
 //
-//	mirareport [-in corpus/] [-days 2001] [-seed 1] [-exp E6] [-takeaways] [-csv out/]
+//	mirareport [-in corpus/] [-format auto|csv|pack] [-days 2001] [-seed 1]
+//	           [-exp E6] [-takeaways] [-csv out/]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Without -in, a corpus is generated with the default (or overridden)
-// configuration. Without -exp, every experiment runs. -csv additionally
-// dumps every figure as a CSV series for plotting.
+// configuration. With -in, the corpus.mirapack binary snapshot is preferred
+// when present (one read, no parse — see DESIGN.md §10); -format csv forces
+// the four CSV files, -format pack requires the snapshot. Without -exp,
+// every experiment runs. -csv additionally dumps every figure as a CSV
+// series for plotting.
 package main
 
 import (
@@ -23,11 +27,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
-	"repro/internal/iolog"
-	"repro/internal/joblog"
-	"repro/internal/raslog"
+	"repro/internal/pack"
 	"repro/internal/sim"
-	"repro/internal/tasklog"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func main() {
 
 func run() error {
 	in := flag.String("in", "", "corpus directory written by miragen (empty = generate)")
+	format := flag.String("format", "auto", "corpus format for -in: auto (prefer pack), csv, pack")
 	days := flag.Int("days", 0, "override days when generating")
 	seed := flag.Int64("seed", 0, "override seed when generating")
 	small := flag.Bool("small", false, "generate the fast 30-day corpus")
@@ -84,7 +86,7 @@ func run() error {
 		return nil
 	}
 
-	env, err := buildEnv(*in, *days, *seed, *small, *parallelism)
+	env, err := buildEnv(*in, *format, *days, *seed, *small, *parallelism)
 	if err != nil {
 		return err
 	}
@@ -139,9 +141,9 @@ func run() error {
 	return nil
 }
 
-// buildEnv creates the evaluation environment from a CSV corpus directory
-// or by generating a fresh corpus.
-func buildEnv(in string, days int, seed int64, small bool, parallelism int) (*experiments.Env, error) {
+// buildEnv creates the evaluation environment from a corpus directory
+// (snapshot or CSV) or by generating a fresh corpus.
+func buildEnv(in, format string, days int, seed int64, small bool, parallelism int) (*experiments.Env, error) {
 	if in == "" {
 		cfg := sim.DefaultConfig()
 		if small {
@@ -156,65 +158,17 @@ func buildEnv(in string, days int, seed int64, small bool, parallelism int) (*ex
 		fmt.Fprintf(os.Stderr, "generating %d-day corpus (seed %d)...\n", cfg.Days, cfg.Seed)
 		return experiments.NewEnvParallel(cfg, parallelism)
 	}
-	jobs, err := readJobs(filepath.Join(in, "jobs.csv"))
+	ft, err := pack.ParseFormat(format)
 	if err != nil {
 		return nil, err
 	}
-	tasks, err := readTasks(filepath.Join(in, "tasks.csv"))
-	if err != nil {
-		return nil, err
-	}
-	events, err := readEvents(filepath.Join(in, "ras.csv"))
-	if err != nil {
-		return nil, err
-	}
-	ioRecs, err := readIO(filepath.Join(in, "io.csv"))
-	if err != nil {
-		return nil, err
-	}
-	d, err := core.NewDataset(jobs, tasks, events, ioRecs)
+	d, err := pack.LoadDir(in, ft)
 	if err != nil {
 		return nil, err
 	}
 	env := experiments.NewEnvFromDataset(d)
 	env.Parallelism = parallelism
 	return env, nil
-}
-
-func readJobs(path string) ([]joblog.Job, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return joblog.ReadCSV(f)
-}
-
-func readTasks(path string) ([]tasklog.Task, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return tasklog.ReadCSV(f)
-}
-
-func readEvents(path string) ([]raslog.Event, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return raslog.ReadCSV(f)
-}
-
-func readIO(path string) ([]iolog.Record, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return iolog.ReadCSV(f)
 }
 
 func printTakeaways(d *core.Dataset) error {

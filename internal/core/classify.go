@@ -153,7 +153,7 @@ func (d *Dataset) ClassifyJoint(opt JointOptions) *Classification {
 // fatalNearEnd reports whether a FATAL event within tol of the job's end
 // intersects a block the job ran on.
 func (d *Dataset) fatalNearEnd(fatals []raslog.Event, times []time.Time, j *joblog.Job, tol time.Duration) bool {
-	tasks := d.tasksByJob[j.ID]
+	tasks := d.TasksOf(j.ID)
 	if len(tasks) == 0 {
 		return false
 	}

@@ -27,9 +27,36 @@ type Dataset struct {
 	Events []raslog.Event // sorted by time
 	IO     []iolog.Record
 
-	tasksByJob map[int64][]tasklog.Task
-	ioByJob    map[int64]iolog.Record
-	jobByID    map[int64]*joblog.Job
+	// ids holds the job ids in ascending order and byID maps each ids
+	// position back to the Jobs position; Job() binary-searches ids.
+	// Compared to a hash map the pair is built with one (usually no-op)
+	// sort, costs twelve bytes per job, and needs no rehash or per-entry
+	// allocation on the corpus-load hot path. Searching a contiguous int64
+	// array keeps the hot upper tree levels in cache, unlike chasing job
+	// structs through the permutation.
+	ids  []int64
+	byID []int32
+
+	// Scheduler job ids are handed out sequentially, so a corpus slice
+	// occupies a dense id range: posOf[id-idBase] resolves a job in O(1).
+	// It stays nil for sparse id spaces, which fall back to the binary
+	// search.
+	posOf  []int32
+	idBase int64
+
+	// Per-job indexes aligned to Jobs: tasksOf[i] and eventsOf[i] belong to
+	// Jobs[i]; ioOf[i] is a position in IO, or -1 if the job has no I/O
+	// record.
+	tasksOf  [][]tasklog.Task
+	eventsOf [][]int
+	ioOf     []int32
+
+	// Records referencing a job id that matches no job land in the orphan
+	// maps, preserving lookup behavior for inconsistent logs. They stay nil
+	// for consistent corpora.
+	orphanTasks  map[int64][]tasklog.Task
+	orphanEvents map[int64][]int
+	orphanIO     map[int64]iolog.Record
 
 	// Severity-partitioned views into Events, built once: indices of FATAL
 	// and WARN events in time order. Most analyses touch only these slivers
@@ -39,11 +66,155 @@ type Dataset struct {
 	warnIdx  []int
 	infoN    int // events that are neither FATAL nor WARN
 
-	// eventsByJob indexes the events attributed to each job (nonzero JobID),
-	// in time order.
-	eventsByJob map[int64][]int
-
 	start, end time.Time
+}
+
+// jobPos returns the position in Jobs of the job with the given id.
+func (d *Dataset) jobPos(id int64) (int, bool) {
+	if d.posOf != nil {
+		off := id - d.idBase
+		if off < 0 || off >= int64(len(d.posOf)) {
+			return 0, false
+		}
+		if p := d.posOf[off]; p >= 0 {
+			return int(p), true
+		}
+		return 0, false
+	}
+	ids := d.ids
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ids) && ids[lo] == id {
+		return int(d.byID[lo]), true
+	}
+	return 0, false
+}
+
+// buildJobIndex builds ids/byID and rejects duplicate ids.
+func (d *Dataset) buildJobIndex() error {
+	jobs := d.Jobs
+	d.ids = make([]int64, len(jobs))
+	d.byID = make([]int32, len(jobs))
+	sorted := true
+	for i := range jobs {
+		d.ids[i] = jobs[i].ID
+		d.byID[i] = int32(i)
+		if i > 0 && jobs[i].ID < jobs[i-1].ID {
+			sorted = false
+		}
+	}
+	if !sorted {
+		byID, ids := d.byID, d.ids
+		sort.Slice(byID, func(a, b int) bool { return jobs[byID[a]].ID < jobs[byID[b]].ID })
+		for i, p := range byID {
+			ids[i] = jobs[p].ID
+		}
+	}
+	for i := 1; i < len(d.ids); i++ {
+		if d.ids[i] == d.ids[i-1] {
+			return fmt.Errorf("core: duplicate job id %d", d.ids[i])
+		}
+	}
+	if n := len(d.ids); n > 0 {
+		if span := d.ids[n-1] - d.ids[0] + 1; span <= int64(4*n+64) {
+			d.idBase = d.ids[0]
+			d.posOf = make([]int32, span)
+			for i := range d.posOf {
+				d.posOf[i] = -1
+			}
+			for i, id := range d.ids {
+				d.posOf[id-d.idBase] = d.byID[i]
+			}
+		}
+	}
+	return nil
+}
+
+// jobCursor resolves an ascending stream of job ids to Jobs positions in
+// O(1) amortized, advancing a cursor over the sorted index. An id that
+// steps backwards falls back to a binary search without disturbing the
+// cursor, so a mostly-sorted stream stays cheap.
+type jobCursor struct {
+	d *Dataset
+	k int
+}
+
+func (c *jobCursor) pos(id int64) (int, bool) {
+	ids := c.d.ids
+	if c.k < len(ids) && ids[c.k] <= id {
+		k := c.k
+		for k < len(ids) && ids[k] < id {
+			k++
+		}
+		c.k = k
+		if k < len(ids) && ids[k] == id {
+			return int(c.d.byID[k]), true
+		}
+		if k == len(ids) || ids[k] > id {
+			return 0, false
+		}
+	}
+	return c.d.jobPos(id)
+}
+
+// buildPerJob fills the tasksOf and ioOf indexes. A scheduler log records a
+// job's tasks consecutively, so tasks group into runs, each adopted as a
+// (capped) subslice without copying; a job id split across runs falls back
+// to concatenating.
+func (d *Dataset) buildPerJob() {
+	// Tasks group into contiguous runs (a scheduler log records a job's
+	// tasks consecutively) whose job ids follow execution order — close to
+	// id order but with local inversions. Each run resolves through the
+	// cursor (sequential advance when ascending, binary search over the
+	// compact sorted-ids array otherwise) and is adopted as a (capped)
+	// subslice without copying; a job id split across runs concatenates.
+	d.tasksOf = make([][]tasklog.Task, len(d.Jobs))
+	tasks := d.Tasks
+	cur := jobCursor{d: d}
+	for i := 0; i < len(tasks); {
+		id := tasks[i].JobID
+		j := i + 1
+		for j < len(tasks) && tasks[j].JobID == id {
+			j++
+		}
+		span := tasks[i:j:j]
+		if p, ok := cur.pos(id); ok {
+			if prev := d.tasksOf[p]; prev == nil {
+				d.tasksOf[p] = span
+			} else {
+				d.tasksOf[p] = append(prev[:len(prev):len(prev)], span...)
+			}
+		} else {
+			if d.orphanTasks == nil {
+				d.orphanTasks = map[int64][]tasklog.Task{}
+			}
+			d.orphanTasks[id] = append(d.orphanTasks[id], span...)
+		}
+		i = j
+	}
+	d.ioOf = make([]int32, len(d.Jobs))
+	for i := range d.ioOf {
+		d.ioOf[i] = -1
+	}
+	cur = jobCursor{d: d}
+	for i := range d.IO {
+		id := d.IO[i].JobID
+		if p, ok := cur.pos(id); ok {
+			d.ioOf[p] = int32(i)
+		} else {
+			if d.orphanIO == nil {
+				d.orphanIO = map[int64]iolog.Record{}
+			}
+			d.orphanIO[id] = d.IO[i]
+		}
+	}
 }
 
 // NewDataset indexes the logs. Events are sorted by time if they are not
@@ -58,17 +229,14 @@ func NewDataset(jobs []joblog.Job, tasks []tasklog.Task, events []raslog.Event, 
 		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time.Before(sorted[j].Time) })
 		d.Events = sorted
 	}
-	d.tasksByJob = tasklog.ByJob(tasks)
-	d.ioByJob = iolog.ByJob(ioRecs)
-	d.jobByID = make(map[int64]*joblog.Job, len(jobs))
+	if err := d.buildJobIndex(); err != nil {
+		return nil, err
+	}
+	d.buildPerJob()
 	d.start = jobs[0].Submit
 	d.end = jobs[0].End
 	for i := range jobs {
 		j := &jobs[i]
-		if _, dup := d.jobByID[j.ID]; dup {
-			return nil, fmt.Errorf("core: duplicate job id %d", j.ID)
-		}
-		d.jobByID[j.ID] = j
 		if j.Submit.Before(d.start) {
 			d.start = j.Submit
 		}
@@ -83,7 +251,7 @@ func NewDataset(jobs []joblog.Job, tasks []tasklog.Task, events []raslog.Event, 
 			d.end = t
 		}
 	}
-	d.eventsByJob = map[int64][]int{}
+	d.eventsOf = make([][]int, len(jobs))
 	for i := range d.Events {
 		switch d.Events[i].Sev {
 		case raslog.Fatal:
@@ -94,7 +262,14 @@ func NewDataset(jobs []joblog.Job, tasks []tasklog.Task, events []raslog.Event, 
 			d.infoN++
 		}
 		if id := d.Events[i].JobID; id != 0 {
-			d.eventsByJob[id] = append(d.eventsByJob[id], i)
+			if p, ok := d.jobPos(id); ok {
+				d.eventsOf[p] = append(d.eventsOf[p], i)
+			} else {
+				if d.orphanEvents == nil {
+					d.orphanEvents = map[int64][]int{}
+				}
+				d.orphanEvents[id] = append(d.orphanEvents[id], i)
+			}
 		}
 	}
 	return d, nil
@@ -122,7 +297,12 @@ func (d *Dataset) EventsBetween(t0, t1 time.Time) []raslog.Event {
 // EventsOf returns the indices (into Events) of the events attributed to the
 // job (nil if none), in time order. The slice is shared — callers must not
 // modify it.
-func (d *Dataset) EventsOf(id int64) []int { return d.eventsByJob[id] }
+func (d *Dataset) EventsOf(id int64) []int {
+	if p, ok := d.jobPos(id); ok {
+		return d.eventsOf[p]
+	}
+	return d.orphanEvents[id]
+}
 
 // Span returns the observation window covered by the dataset.
 func (d *Dataset) Span() (start, end time.Time) { return d.start, d.end }
@@ -132,16 +312,29 @@ func (d *Dataset) Days() float64 { return d.end.Sub(d.start).Hours() / 24 }
 
 // Job returns the job with the given ID.
 func (d *Dataset) Job(id int64) (*joblog.Job, bool) {
-	j, ok := d.jobByID[id]
-	return j, ok
+	if p, ok := d.jobPos(id); ok {
+		return &d.Jobs[p], true
+	}
+	return nil, false
 }
 
 // TasksOf returns the tasks of a job (nil if none recorded).
-func (d *Dataset) TasksOf(id int64) []tasklog.Task { return d.tasksByJob[id] }
+func (d *Dataset) TasksOf(id int64) []tasklog.Task {
+	if p, ok := d.jobPos(id); ok {
+		return d.tasksOf[p]
+	}
+	return d.orphanTasks[id]
+}
 
 // IOOf returns the I/O record of a job if one was captured.
 func (d *Dataset) IOOf(id int64) (iolog.Record, bool) {
-	r, ok := d.ioByJob[id]
+	if p, ok := d.jobPos(id); ok {
+		if j := d.ioOf[p]; j >= 0 {
+			return d.IO[j], true
+		}
+		return iolog.Record{}, false
+	}
+	r, ok := d.orphanIO[id]
 	return r, ok
 }
 

@@ -33,10 +33,10 @@ func (d *Dataset) IOBehavior() (*IOCorrelation, error) {
 	var bytesAll, successAll []float64
 	for i := range d.Jobs {
 		j := &d.Jobs[i]
-		rec, ok := d.ioByJob[j.ID]
-		if !ok {
+		if d.ioOf[i] < 0 {
 			continue
 		}
+		rec := d.IO[d.ioOf[i]]
 		b := float64(rec.TotalBytes())
 		s := rec.IOTime.Seconds()
 		bytesAll = append(bytesAll, b)

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/joblog"
+)
+
+// TestSnapshotRebuildEquivalence pins NewDatasetFromSnapshot to NewDataset:
+// re-indexing the same logs from an exported snapshot must reproduce the
+// dataset exactly, shared event-scan indexes included.
+func TestSnapshotRebuildEquivalence(t *testing.T) {
+	d, _ := dataset(t)
+	back, err := NewDatasetFromSnapshot(d.Jobs, d.Tasks, d.Events, d.IO, d.ExportIndexes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, back) {
+		t.Fatal("snapshot-built dataset differs from scan-built dataset")
+	}
+}
+
+func TestSnapshotRejectsMismatch(t *testing.T) {
+	d, _ := dataset(t)
+	snap := d.ExportIndexes()
+
+	if _, err := NewDatasetFromSnapshot(nil, d.Tasks, d.Events, d.IO, snap); err == nil {
+		t.Error("no jobs accepted")
+	}
+
+	// A snapshot that does not cover the stream must be rejected: here the
+	// stream is truncated but the indexes still reference the full length.
+	if _, err := NewDatasetFromSnapshot(d.Jobs, d.Tasks, d.Events[:len(d.Events)/2], d.IO, snap); err == nil {
+		t.Error("snapshot/stream length mismatch accepted")
+	}
+
+	// Over-attributing per-job indexes must be rejected too.
+	bad := snap
+	bad.JobEvents = []JobEventIndex{{JobID: 1, Idx: make([]int, len(d.Events)+1)}}
+	bad.InfoN = len(d.Events) - len(bad.FatalIdx) - len(bad.WarnIdx)
+	if _, err := NewDatasetFromSnapshot(d.Jobs, d.Tasks, d.Events, d.IO, bad); err == nil {
+		t.Error("over-attributed snapshot accepted")
+	}
+
+	// As must per-job index lists that are out of range or out of order.
+	bad = snap
+	bad.JobEvents = []JobEventIndex{{JobID: 1, Idx: []int{len(d.Events)}}}
+	if _, err := NewDatasetFromSnapshot(d.Jobs, d.Tasks, d.Events, d.IO, bad); err == nil {
+		t.Error("out-of-range event index accepted")
+	}
+	bad.JobEvents = []JobEventIndex{{JobID: 1, Idx: []int{1, 0}}}
+	if _, err := NewDatasetFromSnapshot(d.Jobs, d.Tasks, d.Events, d.IO, bad); err == nil {
+		t.Error("out-of-order event index accepted")
+	}
+
+	// Duplicate job ids are still caught on the snapshot path.
+	jobs := append(append([]joblog.Job(nil), d.Jobs...), d.Jobs[0])
+	if _, err := NewDatasetFromSnapshot(jobs, d.Tasks, d.Events, d.IO, snap); err == nil {
+		t.Error("duplicate job id accepted")
+	}
+}

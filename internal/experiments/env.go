@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
@@ -153,9 +154,10 @@ func All() []Experiment {
 	return append([]Experiment(nil), experimentList...)
 }
 
-// ByID returns the experiment with the given ID.
+// ByID returns the experiment with the given ID. The lookup is
+// case-insensitive, so the -exp flag accepts e6 as well as E6.
 func ByID(id string) (Experiment, bool) {
-	e, ok := byID[id]
+	e, ok := byID[strings.ToUpper(id)]
 	return e, ok
 }
 

@@ -83,6 +83,20 @@ func TestByIDUnknown(t *testing.T) {
 	}
 }
 
+// TestByIDCaseInsensitive pins the -exp flag ergonomics: lowercase ids
+// resolve to the same experiment as their canonical spelling.
+func TestByIDCaseInsensitive(t *testing.T) {
+	for _, id := range []string{"e6", "E6"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("ByID(%q) not found", id)
+		}
+		if e.ID != "E6" {
+			t.Fatalf("ByID(%q) = %s, want E6", id, e.ID)
+		}
+	}
+}
+
 // want checks a metric against [lo, hi].
 func want(t *testing.T, res *Result, key string, lo, hi float64) {
 	t.Helper()

@@ -1,0 +1,92 @@
+package machine
+
+import "fmt"
+
+// Compact numeric codes for locations and blocks. The binary corpus
+// snapshot (internal/pack) stores hardware references column-major as
+// varint-encoded codes instead of the textual forms ("R17-M0-N06-J11",
+// "B04-02") the CSV logs use: packing the hierarchy into a few bits makes
+// the column both smaller and free of string parsing on load.
+//
+// Codes are canonical: bits below a location's level are zero, and decoding
+// rejects non-canonical or out-of-range codes so a corrupted column cannot
+// alias a different piece of hardware silently.
+
+// Location code bit layout, from the least significant bit up:
+//
+//	bits 0..4   node   (0..31)
+//	bits 5..8   board  (0..15)
+//	bit  9      mid    (0..1)
+//	bits 10..15 rack   (0..47)
+//	bits 16..18 level  (1..5)
+const (
+	locNodeBits  = 5
+	locBoardBits = 4
+	locMidBits   = 1
+	locRackBits  = 6
+
+	locBoardShift = locNodeBits
+	locMidShift   = locBoardShift + locBoardBits
+	locRackShift  = locMidShift + locMidBits
+	locLevelShift = locRackShift + locRackBits
+)
+
+// Code packs the location into a canonical uint32 (19 significant bits).
+func (l Location) Code() uint32 {
+	return uint32(l.Level())<<locLevelShift |
+		uint32(l.rack)<<locRackShift |
+		uint32(l.mid)<<locMidShift |
+		uint32(l.board)<<locBoardShift |
+		uint32(l.node)
+}
+
+// LocationFromCode reverses Code. Non-canonical codes (unknown level, field
+// out of range, or nonzero bits below the level) are rejected.
+func LocationFromCode(c uint32) (Location, error) {
+	// Decoded per event row on the snapshot load path, so validate with bit
+	// tests instead of the constructor chain: the mid/board/node fields
+	// cannot exceed their bit widths, which leaves the rack range, the level
+	// and the below-level bits to check explicitly.
+	level := Level(c >> locLevelShift)
+	rack := int(c >> locRackShift & (1<<locRackBits - 1))
+	mid := int(c >> locMidShift & (1<<locMidBits - 1))
+	board := int(c >> locBoardShift & (1<<locBoardBits - 1))
+	node := int(c & (1<<locNodeBits - 1))
+
+	ok := rack < NumRacks
+	switch level {
+	case LevelSystem:
+		ok = ok && c == uint32(LevelSystem)<<locLevelShift
+	case LevelRack:
+		ok = ok && c&(1<<locRackShift-1) == 0
+	case LevelMidplane:
+		ok = ok && c&(1<<locMidShift-1) == 0
+	case LevelNodeBoard:
+		ok = ok && c&(1<<locBoardShift-1) == 0
+	case LevelNode:
+	default:
+		return Location{}, fmt.Errorf("machine: location code %#x: unknown level %d", c, int(level))
+	}
+	if !ok {
+		return Location{}, fmt.Errorf("machine: location code %#x is not canonical", c)
+	}
+	return Location{level: level, rack: rack, mid: mid, board: board, node: node}, nil
+}
+
+// Code packs the block into a uint32: BaseMidplane in the high byte,
+// Midplanes in the low byte.
+func (b Block) Code() uint32 {
+	return uint32(b.BaseMidplane)<<8 | uint32(b.Midplanes)
+}
+
+// BlockFromCode reverses Block.Code, validating the geometry.
+func BlockFromCode(c uint32) (Block, error) {
+	if c>>16 != 0 {
+		return Block{}, fmt.Errorf("machine: block code %#x out of range", c)
+	}
+	b := Block{BaseMidplane: int(c >> 8), Midplanes: int(c & 0xff)}
+	if err := b.Validate(); err != nil {
+		return Block{}, fmt.Errorf("machine: block code %#x: %w", c, err)
+	}
+	return b, nil
+}

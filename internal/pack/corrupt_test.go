@@ -1,0 +1,107 @@
+package pack_test
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"repro/internal/pack"
+)
+
+// corruptSnapshot returns a fresh valid snapshot image for mutation.
+func corruptSnapshot(t *testing.T) []byte {
+	t.Helper()
+	data := pack.Marshal(trickyDataset(t))
+	return append([]byte(nil), data...)
+}
+
+// expectError asserts Unmarshal fails and mentions the expected phrase; it
+// also asserts no partial dataset leaks out.
+func expectError(t *testing.T, data []byte, phrase string) {
+	t.Helper()
+	d, err := pack.Unmarshal(data)
+	if err == nil {
+		t.Fatalf("want error mentioning %q, got a dataset", phrase)
+	}
+	if d != nil {
+		t.Fatalf("error %v returned alongside a partial dataset", err)
+	}
+	if !strings.Contains(err.Error(), phrase) {
+		t.Fatalf("error %q does not mention %q", err, phrase)
+	}
+	// Inspect must reject header/section corruption the same way; section
+	// payload corruption it also sees via the checksums.
+	if _, err := pack.Inspect(data); err == nil && phrase != "" {
+		// Inspect only validates the envelope; payload-level phrases that
+		// pass checksums (none in these tests) would be acceptable.
+		t.Fatalf("Inspect accepted a snapshot Unmarshal rejected (%q)", phrase)
+	}
+}
+
+func TestTruncatedSnapshot(t *testing.T) {
+	data := corruptSnapshot(t)
+	for _, tc := range []struct {
+		name   string
+		keep   int
+		phrase string
+	}{
+		{"empty", 0, "header"},
+		{"mid-header", 10, "header"},
+		{"mid-table", 30, "section table"},
+		{"mid-payload", len(data) - 1, "exceeds file size"},
+		{"half", len(data) / 2, ""},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			truncated := data[:tc.keep]
+			if _, err := pack.Unmarshal(truncated); err == nil {
+				t.Fatal("truncated snapshot decoded without error")
+			}
+			if tc.phrase != "" {
+				expectError(t, truncated, tc.phrase)
+			}
+		})
+	}
+}
+
+func TestFlippedByte(t *testing.T) {
+	base := corruptSnapshot(t)
+	// Flip one byte in every section payload region (past the header and
+	// table): each must be caught by that section's checksum.
+	headerEnd := 16 + 5*24
+	stride := (len(base) - headerEnd) / 16
+	if stride == 0 {
+		stride = 1
+	}
+	for off := headerEnd; off < len(base); off += stride {
+		data := append([]byte(nil), base...)
+		data[off] ^= 0x40
+		expectError(t, data, "checksum mismatch")
+	}
+}
+
+func TestFlippedChecksumByte(t *testing.T) {
+	// Flipping a stored checksum (not the payload) must also fail loudly.
+	data := corruptSnapshot(t)
+	data[16+4] ^= 0x01 // crc32 field of the first section entry
+	expectError(t, data, "checksum mismatch")
+}
+
+func TestWrongMagic(t *testing.T) {
+	data := corruptSnapshot(t)
+	copy(data, "NOTAPACK")
+	expectError(t, data, "not a mirapack snapshot")
+}
+
+func TestWrongVersion(t *testing.T) {
+	data := corruptSnapshot(t)
+	binary.LittleEndian.PutUint32(data[8:], pack.Version+1)
+	expectError(t, data, "supports only version")
+}
+
+func TestMissingSection(t *testing.T) {
+	// Rewrite the table to claim zero sections: structurally valid, but the
+	// decoder must notice the missing logs rather than return empties.
+	data := corruptSnapshot(t)
+	binary.LittleEndian.PutUint32(data[12:], 0)
+	expectError(t, data, "no events section")
+}

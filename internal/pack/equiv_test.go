@@ -1,0 +1,80 @@
+package pack_test
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/pack"
+)
+
+// TestExperimentsEqualCSVvsPack pins the end-to-end guarantee: a corpus
+// loaded from the binary snapshot produces bit-identical analysis results
+// to the same corpus loaded from CSV, for every experiment in the suite
+// (E1–E23).
+func TestExperimentsEqualCSVvsPack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment suite twice")
+	}
+	d := generatedDataset(t)
+	dir := t.TempDir()
+	jb, tb, rb, ib := writeCSVs(t, d)
+	for _, f := range []struct {
+		name string
+		data []byte
+	}{
+		{"jobs.csv", jb}, {"tasks.csv", tb}, {"ras.csv", rb}, {"io.csv", ib},
+	} {
+		if err := os.WriteFile(filepath.Join(dir, f.name), f.data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fromCSV, err := pack.LoadDir(dir, pack.FormatCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pack.WriteFile(pack.SnapshotPath(dir), fromCSV); err != nil {
+		t.Fatal(err)
+	}
+	fromPack, err := pack.LoadDir(dir, pack.FormatPack)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	csvEnv := experiments.NewEnvFromDataset(fromCSV)
+	packEnv := experiments.NewEnvFromDataset(fromPack)
+	for _, exp := range experiments.All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			resCSV, errCSV := exp.Run(csvEnv)
+			resPack, errPack := exp.Run(packEnv)
+			if (errCSV == nil) != (errPack == nil) {
+				t.Fatalf("csv err=%v, pack err=%v", errCSV, errPack)
+			}
+			if errCSV != nil {
+				if errCSV.Error() != errPack.Error() {
+					t.Fatalf("different errors: csv %v, pack %v", errCSV, errPack)
+				}
+				return
+			}
+			if len(resCSV.Metrics) == 0 {
+				t.Fatalf("%s produced no metrics", exp.ID)
+			}
+			if len(resCSV.Metrics) != len(resPack.Metrics) {
+				t.Fatalf("metric count differs: csv %d, pack %d", len(resCSV.Metrics), len(resPack.Metrics))
+			}
+			for k, v := range resCSV.Metrics {
+				pv, ok := resPack.Metrics[k]
+				if !ok {
+					t.Errorf("metric %s missing from pack run", k)
+					continue
+				}
+				if v != pv && !(math.IsNaN(v) && math.IsNaN(pv)) {
+					t.Errorf("metric %s: csv %v, pack %v", k, v, pv)
+				}
+			}
+		})
+	}
+}

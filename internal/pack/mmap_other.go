@@ -1,0 +1,11 @@
+//go:build !linux
+
+package pack
+
+import "os"
+
+// readSnapshot reads the whole snapshot; the linux build maps it instead.
+func readSnapshot(path string) (data []byte, release func(), err error) {
+	data, err = os.ReadFile(path)
+	return data, func() {}, err
+}

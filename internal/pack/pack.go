@@ -1,0 +1,325 @@
+// Package pack implements the mirapack binary columnar corpus snapshot: a
+// single versioned file holding the four Mira logs (job, task, RAS, I/O)
+// column-major, plus the derived indexes core.NewDataset would otherwise
+// rebuild by scanning the event stream. Loading a snapshot is one file
+// read and a varint sweep — no CSV parsing, no string interning hash
+// lookups, no index construction — which is what makes repeated
+// mirareport/mirafilter/calibrate invocations over a 2001-day corpus
+// cheap.
+//
+// # Layout (version 1)
+//
+//	[8]byte  magic "MIRAPACK"
+//	uint32le version (1)
+//	uint32le section count
+//	per section (24 bytes each):
+//	    uint32le id, uint32le crc32(IEEE) of the payload,
+//	    uint64le absolute offset, uint64le length
+//	section payloads, in table order
+//
+// Sections: jobs (1), tasks (2), events (3), io (4), indexes (5). Each
+// log payload starts with a uvarint row count followed by its columns in a
+// fixed order. Low-cardinality string columns (user, project, queue,
+// message id, component, category, message text) are dictionary-encoded;
+// record ids and timestamps are delta+varint; wide numerics (I/O byte
+// counters, durations) are raw little-endian; everything else is a zigzag
+// varint. The indexes payload serializes core.IndexSnapshot: the fatal and
+// warn views (count + delta varints each), the info count, then the
+// per-job event index — job count, total attributed-event count, and per
+// job a delta-encoded job id (strictly ascending; decoding fails
+// otherwise), its event count and delta-encoded event indexes — and
+// finally the observation-window bounds as unix-second varints. Every
+// section checksum is verified before decoding, and each decoded value is
+// checked against its column's bound, so a truncated or corrupted snapshot
+// fails loudly rather than yielding a partial dataset.
+//
+// DESIGN.md §10 specifies the format and its stability rules.
+package pack
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/iolog"
+	"repro/internal/joblog"
+	"repro/internal/raslog"
+	"repro/internal/tasklog"
+)
+
+// Format identity.
+const (
+	magic = "MIRAPACK"
+	// Version is the current format version. Readers reject any other
+	// version: the format promises compatibility only between identical
+	// versions, and a version bump is the only sanctioned way to change
+	// the layout (see DESIGN.md §10).
+	Version = 1
+	// SnapshotName is the conventional snapshot filename inside a corpus
+	// directory, next to the four CSVs.
+	SnapshotName = "corpus.mirapack"
+)
+
+// Section ids.
+const (
+	secJobs uint32 = iota + 1
+	secTasks
+	secEvents
+	secIO
+	secIndexes
+)
+
+var sectionNames = map[uint32]string{
+	secJobs:    "jobs",
+	secTasks:   "tasks",
+	secEvents:  "events",
+	secIO:      "io",
+	secIndexes: "indexes",
+}
+
+const (
+	headerSize       = 8 + 4 + 4
+	sectionEntrySize = 4 + 4 + 8 + 8
+)
+
+// Marshal serializes the dataset — logs and derived indexes — into a
+// snapshot byte image.
+func Marshal(d *core.Dataset) []byte {
+	sections := []struct {
+		id      uint32
+		payload []byte
+	}{
+		{secJobs, encodeJobs(d.Jobs)},
+		{secTasks, encodeTasks(d.Tasks)},
+		{secEvents, encodeEvents(d.Events)},
+		{secIO, encodeIO(d.IO)},
+		{secIndexes, encodeIndexes(d.ExportIndexes())},
+	}
+	total := headerSize + len(sections)*sectionEntrySize
+	offset := uint64(total)
+	for _, s := range sections {
+		total += len(s.payload)
+	}
+	out := make([]byte, 0, total)
+	out = append(out, magic...)
+	out = binary.LittleEndian.AppendUint32(out, Version)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(sections)))
+	for _, s := range sections {
+		out = binary.LittleEndian.AppendUint32(out, s.id)
+		out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(s.payload))
+		out = binary.LittleEndian.AppendUint64(out, offset)
+		out = binary.LittleEndian.AppendUint64(out, uint64(len(s.payload)))
+		offset += uint64(len(s.payload))
+	}
+	for _, s := range sections {
+		out = append(out, s.payload...)
+	}
+	return out
+}
+
+// Write serializes the dataset to w.
+func Write(w io.Writer, d *core.Dataset) error {
+	if _, err := w.Write(Marshal(d)); err != nil {
+		return fmt.Errorf("pack: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// WriteFile writes the dataset snapshot to path.
+func WriteFile(path string, d *core.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("pack: %w", err)
+	}
+	if err := Write(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("pack: close %s: %w", path, err)
+	}
+	return nil
+}
+
+// section is one verified, named payload.
+type section struct {
+	id      uint32
+	payload []byte
+}
+
+// parseHeader validates magic, version and the section table, and verifies
+// every section checksum. It returns sections in table order.
+func parseHeader(data []byte) ([]section, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("pack: file of %d bytes is shorter than the %d-byte header", len(data), headerSize)
+	}
+	if string(data[:8]) != magic {
+		return nil, fmt.Errorf("pack: bad magic %q (want %q): not a mirapack snapshot", data[:8], magic)
+	}
+	version := binary.LittleEndian.Uint32(data[8:])
+	if version != Version {
+		return nil, fmt.Errorf("pack: snapshot version %d, this reader supports only version %d — regenerate the snapshot", version, Version)
+	}
+	count := binary.LittleEndian.Uint32(data[12:])
+	tableEnd := headerSize + int(count)*sectionEntrySize
+	if count > 64 || tableEnd > len(data) {
+		return nil, fmt.Errorf("pack: truncated snapshot: section table of %d entries does not fit in %d bytes", count, len(data))
+	}
+	sections := make([]section, 0, count)
+	for i := 0; i < int(count); i++ {
+		entry := data[headerSize+i*sectionEntrySize:]
+		id := binary.LittleEndian.Uint32(entry)
+		sum := binary.LittleEndian.Uint32(entry[4:])
+		off := binary.LittleEndian.Uint64(entry[8:])
+		length := binary.LittleEndian.Uint64(entry[16:])
+		name := sectionName(id)
+		if off > uint64(len(data)) || length > uint64(len(data))-off {
+			return nil, fmt.Errorf("pack: truncated snapshot: section %s [%d, +%d) exceeds file size %d", name, off, length, len(data))
+		}
+		payload := data[off : off+length]
+		if got := crc32.ChecksumIEEE(payload); got != sum {
+			return nil, fmt.Errorf("pack: section %s checksum mismatch (stored %08x, computed %08x): snapshot is corrupt", name, sum, got)
+		}
+		sections = append(sections, section{id: id, payload: payload})
+	}
+	return sections, nil
+}
+
+func sectionName(id uint32) string {
+	if n, ok := sectionNames[id]; ok {
+		return n
+	}
+	return fmt.Sprintf("#%d", id)
+}
+
+// findSection returns the payload of the section with the given id.
+func findSection(sections []section, id uint32) ([]byte, error) {
+	for _, s := range sections {
+		if s.id == id {
+			return s.payload, nil
+		}
+	}
+	return nil, fmt.Errorf("pack: snapshot has no %s section", sectionName(id))
+}
+
+// Unmarshal decodes a snapshot byte image into a fully indexed dataset.
+func Unmarshal(data []byte) (*core.Dataset, error) {
+	sections, err := parseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	var jobs []joblog.Job
+	var tasks []tasklog.Task
+	var events []raslog.Event
+	var ioRecs []iolog.Record
+	var snap core.IndexSnapshot
+	// Events first: it needs the widest scratch, so every later section
+	// decodes inside the arena the events pass already paid for.
+	var a arena
+	for _, dec := range []struct {
+		id  uint32
+		run func(payload []byte) error
+	}{
+		{secEvents, func(p []byte) (err error) { events, err = decodeEvents(p, &a); return }},
+		{secJobs, func(p []byte) (err error) { jobs, err = decodeJobs(p, &a); return }},
+		{secTasks, func(p []byte) (err error) { tasks, err = decodeTasks(p, &a); return }},
+		{secIO, func(p []byte) (err error) { ioRecs, err = decodeIO(p, &a); return }},
+		{secIndexes, func(p []byte) (err error) { snap, err = decodeIndexes(p); return }},
+	} {
+		payload, err := findSection(sections, dec.id)
+		if err != nil {
+			return nil, err
+		}
+		if err := dec.run(payload); err != nil {
+			return nil, err
+		}
+	}
+	d, err := core.NewDatasetFromSnapshot(jobs, tasks, events, ioRecs, snap)
+	if err != nil {
+		return nil, fmt.Errorf("pack: %w", err)
+	}
+	return d, nil
+}
+
+// ReadFile loads a snapshot file into a fully indexed dataset: one read,
+// one decode sweep, no index construction.
+func ReadFile(path string) (*core.Dataset, error) {
+	data, release, err := readSnapshot(path)
+	if err != nil {
+		return nil, fmt.Errorf("pack: %w", err)
+	}
+	defer release()
+	d, err := Unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("pack: %s: %w", path, err)
+	}
+	return d, nil
+}
+
+// UnmarshalEvents decodes only the RAS events section of a snapshot — the
+// streaming tools (mirafilter) need nothing else.
+func UnmarshalEvents(data []byte) ([]raslog.Event, error) {
+	sections, err := parseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := findSection(sections, secEvents)
+	if err != nil {
+		return nil, err
+	}
+	return decodeEvents(payload, &arena{})
+}
+
+// ReadEventsFile loads only the RAS events from a snapshot file.
+func ReadEventsFile(path string) ([]raslog.Event, error) {
+	data, release, err := readSnapshot(path)
+	if err != nil {
+		return nil, fmt.Errorf("pack: %w", err)
+	}
+	defer release()
+	events, err := UnmarshalEvents(data)
+	if err != nil {
+		return nil, fmt.Errorf("pack: %s: %w", path, err)
+	}
+	return events, nil
+}
+
+// SectionInfo describes one section of an inspected snapshot.
+type SectionInfo struct {
+	Name  string
+	Bytes int
+	CRC   uint32
+}
+
+// Info is the verified header summary of a snapshot.
+type Info struct {
+	Version  uint32
+	Sections []SectionInfo
+}
+
+// Inspect validates a snapshot's header, every section checksum and the
+// presence of all five sections, and returns the layout summary, without
+// decoding the columns.
+func Inspect(data []byte) (*Info, error) {
+	sections, err := parseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range []uint32{secJobs, secTasks, secEvents, secIO, secIndexes} {
+		if _, err := findSection(sections, id); err != nil {
+			return nil, err
+		}
+	}
+	info := &Info{Version: Version}
+	for _, s := range sections {
+		info.Sections = append(info.Sections, SectionInfo{
+			Name:  sectionName(s.id),
+			Bytes: len(s.payload),
+			CRC:   crc32.ChecksumIEEE(s.payload),
+		})
+	}
+	return info, nil
+}

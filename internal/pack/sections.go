@@ -1,0 +1,393 @@
+package pack
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/iolog"
+	"repro/internal/joblog"
+	"repro/internal/machine"
+	"repro/internal/raslog"
+	"repro/internal/tasklog"
+)
+
+// Per-log section payloads. Each starts with a uvarint row count and then
+// the columns in the fixed order below; the column order is part of the
+// format (DESIGN.md §10) and may only change with a version bump.
+//
+// The decoders write straight into the final row structs, one column pass
+// at a time: no intermediate column slices, no string hashing (dictionary
+// rows share the table's backing), and the one-byte varint fast path
+// inlined — this loop is the whole point of the format, so it is kept
+// allocation-free beyond the output itself.
+
+// arena hands out scratch column space shared across section decodes: the
+// transient decode buffers are allocated (and zeroed) once per load rather
+// than once per section. Scratch never outlives its decoder — every value
+// is copied into the output structs before the next take. Columns with
+// bounded values use the int32 pool, halving their scratch footprint.
+type arena struct {
+	buf   []int64
+	buf32 []int32
+}
+
+func (a *arena) take(n int) []int64 {
+	if cap(a.buf) < n {
+		a.buf = make([]int64, n)
+	}
+	return a.buf[:n]
+}
+
+func (a *arena) take32(n int) []int32 {
+	if cap(a.buf32) < n {
+		a.buf32 = make([]int32, n)
+	}
+	return a.buf32[:n]
+}
+
+// epoch-relative construction: time.Unix(sec, 0).UTC() stores a location
+// pointer twice per call (write-barriered during GC); Add on a UTC base
+// produces the identical Time value with plain integer arithmetic. The
+// decoders build a few hundred thousand timestamps per load.
+var epoch = time.Unix(0, 0).UTC()
+
+func unixTime(sec int64) time.Time { return epoch.Add(time.Duration(sec) * time.Second) }
+
+func encodeJobs(jobs []joblog.Job) []byte {
+	c := joblog.ToColumns(jobs)
+	w := &sectionWriter{}
+	w.uvarint(uint64(c.Rows()))
+	w.deltaInt64s(c.ID)
+	w.dict(c.User)
+	w.dict(c.Project)
+	w.dict(c.Queue)
+	w.deltaInt64s(c.Submit)
+	w.deltaInt64s(c.Start)
+	w.deltaInt64s(c.End)
+	w.varints(c.Walltime)
+	w.varints(c.Nodes)
+	w.varints(c.Ranks)
+	w.varints(c.NumTasks)
+	w.varints(c.Exit)
+	return w.buf
+}
+
+func decodeJobs(payload []byte, a *arena) ([]joblog.Job, error) {
+	r := &sectionReader{name: "jobs", b: payload}
+	n := r.count("row")
+	scratch := a.take(5 * n)
+	column := func(k int) []int64 { return scratch[k*n : (k+1)*n : (k+1)*n] }
+	id, submit, start, end, exit := column(0), column(1), column(2), column(3), column(4)
+	scratch32 := a.take32(7 * n)
+	column32 := func(k int) []int32 { return scratch32[k*n : (k+1)*n : (k+1)*n] }
+	user, project, queue := column32(0), column32(1), column32(2)
+	wall, nodes, ranks, numTasks := column32(3), column32(4), column32(5), column32(6)
+
+	r.deltasInto(id)
+	users := r.dictTable()
+	r.dictIndexes32Into(user, len(users))
+	projects := r.dictTable()
+	r.dictIndexes32Into(project, len(projects))
+	queues := r.dictTable()
+	r.dictIndexes32Into(queue, len(queues))
+	r.deltasInto(submit)
+	r.deltasInto(start)
+	r.deltasInto(end)
+	r.varints32Into(wall, 1<<31, "walltime")
+	r.varints32Into(nodes, 1<<31, "node count")
+	r.varints32Into(ranks, 1<<31, "ranks-per-node")
+	r.varints32Into(numTasks, 1<<31, "task count")
+	r.varintsInto(exit)
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+
+	jobs := make([]joblog.Job, n)
+	for i := range jobs {
+		j := &jobs[i]
+		j.ID = id[i]
+		j.User = users[user[i]]
+		j.Project = projects[project[i]]
+		j.Queue = queues[queue[i]]
+		j.Submit = unixTime(submit[i])
+		j.Start = unixTime(start[i])
+		j.End = unixTime(end[i])
+		j.WalltimeReq = time.Duration(wall[i]) * time.Second
+		j.Nodes = int(nodes[i])
+		j.RanksPerNode = int(ranks[i])
+		j.NumTasks = int(numTasks[i])
+		j.ExitStatus = int(exit[i])
+	}
+	return jobs, nil
+}
+
+func encodeTasks(tasks []tasklog.Task) []byte {
+	c := tasklog.ToColumns(tasks)
+	w := &sectionWriter{}
+	w.uvarint(uint64(c.Rows()))
+	w.deltaInt64s(c.ID)
+	w.deltaInt64s(c.JobID)
+	w.varints(c.Block)
+	w.deltaInt64s(c.Start)
+	w.deltaInt64s(c.End)
+	w.varints(c.Nodes)
+	w.varints(c.Exit)
+	return w.buf
+}
+
+func decodeTasks(payload []byte, a *arena) ([]tasklog.Task, error) {
+	r := &sectionReader{name: "tasks", b: payload}
+	n := r.count("row")
+	scratch := a.take(5 * n)
+	column := func(k int) []int64 { return scratch[k*n : (k+1)*n : (k+1)*n] }
+	id, jobID, start, end, exit := column(0), column(1), column(2), column(3), column(4)
+	scratch32 := a.take32(2 * n)
+	block, nodes := scratch32[0*n:1*n:1*n], scratch32[1*n:2*n:2*n]
+
+	r.deltasInto(id)
+	r.deltasInto(jobID)
+	// Block codes pack two bytes (base midplane, extent), so 1<<16 bounds
+	// every valid code; BlockFromCode still validates the geometry.
+	r.varints32Into(block, 1<<16, "block code")
+	r.deltasInto(start)
+	r.deltasInto(end)
+	r.varints32Into(nodes, 1<<31, "node count")
+	r.varintsInto(exit)
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+
+	// Block codes repeat heavily (few hundred distinct blocks), so decode
+	// each distinct code once.
+	lastCode := int32(-1)
+	var lastBlock machine.Block
+	tasks := make([]tasklog.Task, n)
+	for i := range tasks {
+		if code := block[i]; code != lastCode {
+			b, err := machine.BlockFromCode(uint32(code))
+			if err != nil {
+				return nil, r.errf("%v", err)
+			}
+			lastBlock = b
+			lastCode = code
+		}
+		t := &tasks[i]
+		t.ID = id[i]
+		t.JobID = jobID[i]
+		t.Block = lastBlock
+		t.Start = unixTime(start[i])
+		t.End = unixTime(end[i])
+		t.Nodes = int(nodes[i])
+		t.ExitStatus = int(exit[i])
+	}
+	return tasks, nil
+}
+
+func encodeEvents(events []raslog.Event) []byte {
+	c := raslog.ToColumns(events)
+	w := &sectionWriter{}
+	w.uvarint(uint64(c.Rows()))
+	w.deltaInt64s(c.RecID)
+	w.dict(c.MsgID)
+	w.dict(c.Comp)
+	w.dict(c.Cat)
+	w.varints(c.Sev)
+	w.deltaInt64s(c.Time)
+	w.varints(c.Loc)
+	w.varints(c.JobID)
+	w.varints(c.Count)
+	w.dict(c.Message)
+	return w.buf
+}
+
+func decodeEvents(payload []byte, a *arena) ([]raslog.Event, error) {
+	r := &sectionReader{name: "events", b: payload}
+	n := r.count("row")
+
+	// Decode every column into scratch first, then materialize each event
+	// with a single row-major pass: the struct stream is written exactly
+	// once instead of once per column, which matters because the events
+	// slice is by far the largest thing a load touches.
+	scratch := a.take(3 * n)
+	column := func(k int) []int64 { return scratch[k*n : (k+1)*n : (k+1)*n] }
+	recID, when, jobID := column(0), column(1), column(2)
+	scratch32 := a.take32(7 * n)
+	column32 := func(k int) []int32 { return scratch32[k*n : (k+1)*n : (k+1)*n] }
+	msgID, comp, cat, sev := column32(0), column32(1), column32(2), column32(3)
+	loc, count, msg := column32(4), column32(5), column32(6)
+
+	r.deltasInto(recID)
+	msgIDs := r.dictTable()
+	r.dictIndexes32Into(msgID, len(msgIDs))
+	comps := r.dictTable()
+	r.dictIndexes32Into(comp, len(comps))
+	cats := r.dictTable()
+	r.dictIndexes32Into(cat, len(cats))
+	r.varints32Into(sev, int64(raslog.Fatal)+1, "severity")
+	for _, v := range sev {
+		if v < int32(raslog.Info) {
+			r.fail("severity %d out of range", v)
+			break
+		}
+	}
+	r.deltasInto(when)
+	// Location codes use 19 significant bits (see machine.Location.Code);
+	// LocationFromCode still rejects non-canonical codes inside the bound.
+	r.varints32Into(loc, 1<<19, "location code")
+	r.varintsInto(jobID)
+	r.varints32Into(count, 1<<31, "event count")
+	msgs := r.dictTable()
+	r.dictIndexes32Into(msg, len(msgs))
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+
+	// Location codes are high-cardinality (events land on any of 49k
+	// nodes), so a decoded-code cache would miss more than it hits; the
+	// bit-field decode is cheap enough to run per changed code.
+	lastCode := int32(-1)
+	var lastLoc machine.Location
+	events := make([]raslog.Event, n)
+	for i := range events {
+		if code := loc[i]; code != lastCode {
+			l, err := machine.LocationFromCode(uint32(code))
+			if err != nil {
+				return nil, r.errf("%v", err)
+			}
+			lastLoc = l
+			lastCode = code
+		}
+		e := &events[i]
+		e.RecID = recID[i]
+		e.MsgID = msgIDs[msgID[i]]
+		e.Comp = raslog.Component(comps[comp[i]])
+		e.Cat = raslog.Category(cats[cat[i]])
+		e.Sev = raslog.Severity(sev[i])
+		e.Time = unixTime(when[i])
+		e.Loc = lastLoc
+		e.JobID = jobID[i]
+		e.Count = int(count[i])
+		e.Message = msgs[msg[i]]
+	}
+	return events, nil
+}
+
+func encodeIO(records []iolog.Record) []byte {
+	c := iolog.ToColumns(records)
+	w := &sectionWriter{}
+	w.uvarint(uint64(c.Rows()))
+	w.deltaInt64s(c.JobID)
+	w.rawInt64s(c.BytesRead)
+	w.rawInt64s(c.BytesWritten)
+	w.varints(c.FilesRead)
+	w.varints(c.FilesWritten)
+	w.varints(c.MetaOps)
+	w.rawInt64s(c.IOTimeNanos)
+	return w.buf
+}
+
+func decodeIO(payload []byte, a *arena) ([]iolog.Record, error) {
+	r := &sectionReader{name: "io", b: payload}
+	n := r.count("row")
+	scratch := a.take(7 * n)
+	column := func(k int) []int64 { return scratch[k*n : (k+1)*n : (k+1)*n] }
+	jobID, bytesR, bytesW := column(0), column(1), column(2)
+	filesR, filesW, meta, ioTime := column(3), column(4), column(5), column(6)
+
+	r.deltasInto(jobID)
+	r.raw64sInto(bytesR)
+	r.raw64sInto(bytesW)
+	r.varintsInto(filesR)
+	r.varintsInto(filesW)
+	r.varintsInto(meta)
+	r.raw64sInto(ioTime)
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+
+	recs := make([]iolog.Record, n)
+	for i := range recs {
+		rec := &recs[i]
+		rec.JobID = jobID[i]
+		rec.BytesRead = bytesR[i]
+		rec.BytesWritten = bytesW[i]
+		rec.FilesRead = int(filesR[i])
+		rec.FilesWritten = int(filesW[i])
+		rec.MetaOps = meta[i]
+		rec.IOTime = time.Duration(ioTime[i])
+	}
+	return recs, nil
+}
+
+// encodeIndexes serializes the dataset's derived indexes: the severity
+// views and per-job event lists are sorted integer streams, so they
+// delta-encode tightly; map entries are written in ascending job-id order
+// so the payload is deterministic. The total attributed-event count
+// precedes the per-job lists so the decoder can carve every list out of a
+// single backing allocation.
+func encodeIndexes(snap core.IndexSnapshot) []byte {
+	w := &sectionWriter{}
+	w.uvarint(uint64(len(snap.FatalIdx)))
+	w.deltaInts(snap.FatalIdx)
+	w.uvarint(uint64(len(snap.WarnIdx)))
+	w.deltaInts(snap.WarnIdx)
+	w.uvarint(uint64(snap.InfoN))
+	total := 0
+	for _, je := range snap.JobEvents {
+		total += len(je.Idx)
+	}
+	w.uvarint(uint64(len(snap.JobEvents)))
+	w.uvarint(uint64(total))
+	prev := int64(0)
+	for _, je := range snap.JobEvents {
+		w.varint(je.JobID - prev)
+		prev = je.JobID
+		w.uvarint(uint64(len(je.Idx)))
+		w.deltaInts(je.Idx)
+	}
+	w.varint(snap.Start.Unix())
+	w.varint(snap.End.Unix())
+	return w.buf
+}
+
+func decodeIndexes(payload []byte) (core.IndexSnapshot, error) {
+	r := &sectionReader{name: "indexes", b: payload}
+	var snap core.IndexSnapshot
+	snap.FatalIdx = make([]int, r.count("fatal index"))
+	r.deltaInts(snap.FatalIdx)
+	snap.WarnIdx = make([]int, r.count("warn index"))
+	r.deltaInts(snap.WarnIdx)
+	snap.InfoN = int(r.uv())
+	jobs := r.count("job-index")
+	total := r.count("attributed-event")
+	snap.JobEvents = make([]core.JobEventIndex, 0, jobs)
+	backing := make([]int, total)
+	off := 0
+	prev := int64(0)
+	for i := 0; i < jobs && r.err == nil; i++ {
+		delta := r.v()
+		if i > 0 && delta <= 0 {
+			r.fail("job ids not strictly ascending")
+			break
+		}
+		prev += delta
+		count := r.count("per-job event")
+		if count > total-off {
+			r.fail("per-job event count %d exceeds attributed total %d", count, total)
+			break
+		}
+		idx := backing[off : off+count : off+count]
+		off += count
+		r.deltaInts(idx)
+		snap.JobEvents = append(snap.JobEvents, core.JobEventIndex{JobID: prev, Idx: idx})
+	}
+	if r.err == nil && off != total {
+		r.fail("per-job event lists hold %d indexes, header promised %d", off, total)
+	}
+	snap.Start = time.Unix(r.v(), 0).UTC()
+	snap.End = time.Unix(r.v(), 0).UTC()
+	if err := r.done(); err != nil {
+		return core.IndexSnapshot{}, err
+	}
+	return snap, nil
+}

@@ -1,0 +1,109 @@
+package raslog
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// Columns is the column-major decomposition of a RAS log, the shape the
+// binary corpus snapshot (internal/pack) stores. Locations are packed
+// machine codes (machine.Location.Code), times are unix seconds and
+// severities their numeric values.
+type Columns struct {
+	RecID   []int64
+	MsgID   []string
+	Comp    []string
+	Cat     []string
+	Sev     []int64
+	Time    []int64 // unix seconds
+	Loc     []int64 // machine.Location codes
+	JobID   []int64
+	Count   []int64
+	Message []string
+}
+
+// Rows returns the number of events the columns hold.
+func (c *Columns) Rows() int { return len(c.RecID) }
+
+// ToColumns decomposes events column-major.
+func ToColumns(events []Event) *Columns {
+	n := len(events)
+	c := &Columns{
+		RecID:   make([]int64, n),
+		MsgID:   make([]string, n),
+		Comp:    make([]string, n),
+		Cat:     make([]string, n),
+		Sev:     make([]int64, n),
+		Time:    make([]int64, n),
+		Loc:     make([]int64, n),
+		JobID:   make([]int64, n),
+		Count:   make([]int64, n),
+		Message: make([]string, n),
+	}
+	for i := range events {
+		e := &events[i]
+		c.RecID[i] = e.RecID
+		c.MsgID[i] = e.MsgID
+		c.Comp[i] = string(e.Comp)
+		c.Cat[i] = string(e.Cat)
+		c.Sev[i] = int64(e.Sev)
+		c.Time[i] = e.Time.Unix()
+		c.Loc[i] = int64(e.Loc.Code())
+		c.JobID[i] = e.JobID
+		c.Count[i] = int64(e.Count)
+		c.Message[i] = e.Message
+	}
+	return c
+}
+
+// FromColumns rehydrates events row-major. It is the inverse of ToColumns;
+// invalid location codes and severities are rejected. Locations decode once
+// per distinct code (a RAS log references few distinct locations relative
+// to its row count).
+func FromColumns(c *Columns) ([]Event, error) {
+	n := c.Rows()
+	for name, col := range map[string]int{
+		"msg_id": len(c.MsgID), "component": len(c.Comp), "category": len(c.Cat),
+		"severity": len(c.Sev), "time": len(c.Time), "location": len(c.Loc),
+		"job_id": len(c.JobID), "count": len(c.Count), "message": len(c.Message),
+	} {
+		if col != n {
+			return nil, fmt.Errorf("raslog: column %s has %d rows, want %d", name, col, n)
+		}
+	}
+	locs := make(map[int64]machine.Location, 256)
+	events := make([]Event, n)
+	for i := range events {
+		sev := Severity(c.Sev[i])
+		if sev < Info || sev > Fatal {
+			return nil, fmt.Errorf("raslog: row %d: severity %d out of range", i, c.Sev[i])
+		}
+		loc, ok := locs[c.Loc[i]]
+		if !ok {
+			code := c.Loc[i]
+			if code < 0 || code > int64(^uint32(0)) {
+				return nil, fmt.Errorf("raslog: row %d: location code %d out of range", i, code)
+			}
+			var err error
+			if loc, err = machine.LocationFromCode(uint32(code)); err != nil {
+				return nil, fmt.Errorf("raslog: row %d: %w", i, err)
+			}
+			locs[code] = loc
+		}
+		events[i] = Event{
+			RecID:   c.RecID[i],
+			MsgID:   c.MsgID[i],
+			Comp:    Component(c.Comp[i]),
+			Cat:     Category(c.Cat[i]),
+			Sev:     sev,
+			Time:    time.Unix(c.Time[i], 0).UTC(),
+			Loc:     loc,
+			JobID:   c.JobID[i],
+			Count:   int(c.Count[i]),
+			Message: c.Message[i],
+		}
+	}
+	return events, nil
+}

@@ -1,0 +1,84 @@
+package tasklog
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// Columns is the column-major decomposition of a task log, the shape the
+// binary corpus snapshot (internal/pack) stores. Blocks are packed machine
+// codes (machine.Block.Code), times are unix seconds.
+type Columns struct {
+	ID    []int64
+	JobID []int64
+	Block []int64 // machine.Block codes
+	Start []int64 // unix seconds
+	End   []int64 // unix seconds
+	Nodes []int64
+	Exit  []int64
+}
+
+// Rows returns the number of tasks the columns hold.
+func (c *Columns) Rows() int { return len(c.ID) }
+
+// ToColumns decomposes tasks column-major.
+func ToColumns(tasks []Task) *Columns {
+	n := len(tasks)
+	c := &Columns{
+		ID:    make([]int64, n),
+		JobID: make([]int64, n),
+		Block: make([]int64, n),
+		Start: make([]int64, n),
+		End:   make([]int64, n),
+		Nodes: make([]int64, n),
+		Exit:  make([]int64, n),
+	}
+	for i := range tasks {
+		t := &tasks[i]
+		c.ID[i] = t.ID
+		c.JobID[i] = t.JobID
+		c.Block[i] = int64(t.Block.Code())
+		c.Start[i] = t.Start.Unix()
+		c.End[i] = t.End.Unix()
+		c.Nodes[i] = int64(t.Nodes)
+		c.Exit[i] = int64(t.ExitStatus)
+	}
+	return c
+}
+
+// FromColumns rehydrates tasks row-major. It is the inverse of ToColumns;
+// invalid block codes are rejected.
+func FromColumns(c *Columns) ([]Task, error) {
+	n := c.Rows()
+	for name, col := range map[string]int{
+		"job_id": len(c.JobID), "block": len(c.Block), "start": len(c.Start),
+		"end": len(c.End), "nodes": len(c.Nodes), "exit": len(c.Exit),
+	} {
+		if col != n {
+			return nil, fmt.Errorf("tasklog: column %s has %d rows, want %d", name, col, n)
+		}
+	}
+	tasks := make([]Task, n)
+	for i := range tasks {
+		code := c.Block[i]
+		if code < 0 || code > int64(^uint32(0)) {
+			return nil, fmt.Errorf("tasklog: row %d: block code %d out of range", i, code)
+		}
+		blk, err := machine.BlockFromCode(uint32(code))
+		if err != nil {
+			return nil, fmt.Errorf("tasklog: row %d: %w", i, err)
+		}
+		tasks[i] = Task{
+			ID:         c.ID[i],
+			JobID:      c.JobID[i],
+			Block:      blk,
+			Start:      time.Unix(c.Start[i], 0).UTC(),
+			End:        time.Unix(c.End[i], 0).UTC(),
+			Nodes:      int(c.Nodes[i]),
+			ExitStatus: int(c.Exit[i]),
+		}
+	}
+	return tasks, nil
+}

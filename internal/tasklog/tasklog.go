@@ -190,9 +190,23 @@ func (d *decoder) parseRow(rec [][]byte) (Task, error) {
 
 // ByJob groups tasks by job ID.
 func ByJob(tasks []Task) map[int64][]Task {
-	m := make(map[int64][]Task)
-	for _, t := range tasks {
-		m[t.JobID] = append(m[t.JobID], t)
+	// Cobalt records a job's task partitions consecutively, so group by
+	// run: each run becomes a (capped) subslice of the input — one map
+	// entry per job, no copying. A job id that reappears later falls back
+	// to concatenating, preserving stream order.
+	m := make(map[int64][]Task, len(tasks))
+	for i := 0; i < len(tasks); {
+		id := tasks[i].JobID
+		j := i + 1
+		for j < len(tasks) && tasks[j].JobID == id {
+			j++
+		}
+		if prev, ok := m[id]; ok {
+			m[id] = append(prev, tasks[i:j]...)
+		} else {
+			m[id] = tasks[i:j:j]
+		}
+		i = j
 	}
 	return m
 }

@@ -10,8 +10,10 @@
 #                                      # benches (150-day corpus, slow)
 #
 # The default set is the cheap paired benchmarks: the codec allocation
-# comparisons in internal/raslog (alloc_reduction metric) and the
-# filter-sweep speedup comparison in internal/core (speedup metric).
+# comparisons in internal/raslog (alloc_reduction metric), the
+# filter-sweep speedup comparison in internal/core (speedup metric), and
+# the LoadCSV/LoadPack corpus-load comparison in internal/pack (speedup
+# metric).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,7 +23,7 @@ mkdir -p "$outdir"
 sha="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
 out="$outdir/BENCH_${sha}.json"
 
-pkgs=(./internal/raslog/ ./internal/core/)
+pkgs=(./internal/raslog/ ./internal/core/ ./internal/pack/)
 if [[ "${BENCH_FULL:-0}" == "1" ]]; then
   pkgs+=(.)
 fi
