@@ -20,10 +20,15 @@ type AvailabilityResult struct {
 	SpanHours         float64
 	// Availability = 1 − down-midplane-hours / (96 × span).
 	Availability float64
-	// RepairHours are the matched service-action durations.
+	// RepairHours are the matched service-action durations, in match order.
 	RepairHours   []float64
 	MeanRepairH   float64
 	MedianRepairH float64
+	// RepairSummary are the descriptive statistics of the repair durations.
+	RepairSummary stats.Summary
+	// RepairSample is the sorted view of RepairHours with precomputed
+	// sufficient statistics (nil when there are no repairs).
+	RepairSample *dist.Sample
 	// BestFit is the best-fitting law of the repair durations.
 	BestFit dist.FitResult
 }
@@ -69,16 +74,20 @@ func (d *Dataset) Availability() (*AvailabilityResult, error) {
 	if res.SpanHours > 0 {
 		res.Availability = 1 - res.DownMidplaneHours/(float64(machine.TotalMidplanes)*res.SpanHours)
 	}
-	res.MeanRepairH = stats.Mean(res.RepairHours)
-	med, err := stats.Quantile(res.RepairHours, 0.5)
+	// One sort covers the summary statistics, the median, and — through the
+	// Sample's sufficient statistics — the repair-time model selection.
+	sorted := append([]float64(nil), res.RepairHours...)
+	sort.Float64s(sorted)
+	summary, err := stats.SummarizeSorted(sorted)
 	if err != nil {
 		return nil, err
 	}
-	res.MedianRepairH = med
+	res.RepairSummary = summary
+	res.MeanRepairH = summary.Mean
+	res.MedianRepairH = summary.Median
+	res.RepairSample = dist.NewSampleSorted(sorted)
 	if len(res.RepairHours) >= 30 {
-		sorted := append([]float64(nil), res.RepairHours...)
-		sort.Float64s(sorted)
-		best, err := dist.SelectBest(sorted, nil)
+		best, err := dist.SelectBestSample(res.RepairSample, nil)
 		if err != nil {
 			return nil, fmt.Errorf("core: fit repair times: %w", err)
 		}

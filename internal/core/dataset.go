@@ -69,6 +69,11 @@ type Dataset struct {
 	start, end time.Time
 }
 
+// JobPos returns the position in Jobs of the job with the given id, so
+// callers holding per-job derived series (slices aligned with Jobs, e.g.
+// the experiments environment's core-hours cache) can index them by job id.
+func (d *Dataset) JobPos(id int64) (int, bool) { return d.jobPos(id) }
+
 // jobPos returns the position in Jobs of the job with the given id.
 func (d *Dataset) jobPos(id int64) (int, bool) {
 	if d.posOf != nil {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/joblog"
+	"repro/internal/stats"
 )
 
 // FamilyFit is the distribution-fitting result for one exit family — one
@@ -14,6 +15,12 @@ type FamilyFit struct {
 	Family  joblog.ExitFamily
 	N       int              // failed jobs in the family
 	Results []dist.FitResult // ranked best-first by KS
+	// Sample is the sorted execution-length sample (seconds) the candidates
+	// were fitted against, with its precomputed sufficient statistics.
+	Sample *dist.Sample
+	// Summary are the descriptive statistics of the same sample, computed
+	// from the sorted view without an extra copy.
+	Summary stats.Summary
 }
 
 // Best returns the winning fit.
@@ -71,11 +78,18 @@ func (d *Dataset) FitExecutionLengths(opt FitOptions) ([]FamilyFit, error) {
 		if opt.MaxSamples > 0 && len(data) > opt.MaxSamples {
 			data = thin(data, opt.MaxSamples)
 		}
-		results := dist.FitAllParallel(data, opt.Fitters, opt.Parallelism)
+		// One Sample per family: sorted once, sufficient statistics shared
+		// by every candidate fit and goodness-of-fit statistic.
+		sample := dist.NewSample(data)
+		results := dist.FitAllSampleParallel(sample, opt.Fitters, opt.Parallelism)
 		if len(results) == 0 {
 			return nil, fmt.Errorf("core: no fit results for family %s", fam)
 		}
-		out = append(out, FamilyFit{Family: fam, N: len(data), Results: results})
+		summary, err := stats.SummarizeSorted(sample.Sorted())
+		if err != nil {
+			return nil, fmt.Errorf("core: summarize family %s: %w", fam, err)
+		}
+		out = append(out, FamilyFit{Family: fam, N: sample.N(), Results: results, Sample: sample, Summary: summary})
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("core: no exit family had ≥%d failed jobs", opt.MinSamples)
@@ -96,8 +110,10 @@ func thin(data []float64, k int) []float64 {
 }
 
 // ExecutionLengthCDFs returns the execution-length samples (seconds) of
-// succeeded and failed jobs — the data behind the paper's CDF comparison
-// figure (E5).
+// succeeded and failed jobs, each sorted ascending — the data behind the
+// paper's CDF comparison figure (E5). The sorted order lets callers wrap
+// the slices in dist.NewSampleSorted / stats.NewECDFSorted without another
+// copy or sort.
 func (d *Dataset) ExecutionLengthCDFs() (succeeded, failed []float64) {
 	for i := range d.Jobs {
 		j := &d.Jobs[i]

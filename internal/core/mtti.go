@@ -17,8 +17,14 @@ type MTTIResult struct {
 	Interruptions int        // len(Incidents)
 	MTTIDays      float64    // span / interruptions
 	MTBFRawDays   float64    // baseline: span / raw FATAL count
-	// Intervals are the gaps between consecutive interruptions, in hours.
+	// Intervals are the gaps between consecutive interruptions, in hours,
+	// in time order.
 	Intervals []float64
+	// IntervalSample is the sorted view of Intervals with precomputed
+	// sufficient statistics — the series the best-fit selection ran on,
+	// reusable for CDF figures without another sort. Nil when there are no
+	// intervals.
+	IntervalSample *dist.Sample
 	// BestFit is the best-fitting distribution of the interruption
 	// intervals (hours), per KS model selection.
 	BestFit dist.FitResult
@@ -70,8 +76,11 @@ func (d *Dataset) MTTI(rule FilterRule) (*MTTIResult, error) {
 				res.Intervals = append(res.Intervals, gap)
 			}
 		}
+		if len(res.Intervals) > 0 {
+			res.IntervalSample = dist.NewSample(res.Intervals)
+		}
 		if len(res.Intervals) >= 10 {
-			best, err := dist.SelectBest(res.Intervals, nil)
+			best, err := dist.SelectBestSample(res.IntervalSample, nil)
 			if err != nil {
 				return nil, fmt.Errorf("core: fit interruption intervals: %w", err)
 			}

@@ -62,29 +62,3 @@ func BIC(d Distribution, data []float64) float64 {
 	return float64(d.NumParams())*math.Log(n) - 2*LogLikelihood(d, data)
 }
 
-// sampleMoments returns n, mean and (population) variance, validating that
-// every point is positive when positive is set.
-func sampleMoments(data []float64, positive bool) (n int, mean, variance float64, err error) {
-	if len(data) < 2 {
-		return 0, 0, 0, ErrTooFewPoints
-	}
-	sum := 0.0
-	for _, x := range data {
-		if positive && x <= 0 {
-			return 0, 0, 0, ErrBadSample
-		}
-		if math.IsNaN(x) || math.IsInf(x, 0) {
-			return 0, 0, 0, ErrBadSample
-		}
-		sum += x
-	}
-	n = len(data)
-	mean = sum / float64(n)
-	ss := 0.0
-	for _, x := range data {
-		d := x - mean
-		ss += d * d
-	}
-	variance = ss / float64(n)
-	return n, mean, variance, nil
-}

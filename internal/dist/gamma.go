@@ -143,22 +143,27 @@ func (g Gamma) Rand(rng *rand.Rand) float64 {
 // where s = ln(mean) − mean(ln x).
 type GammaFitter struct{}
 
-var _ Fitter = GammaFitter{}
+var (
+	_ Fitter       = GammaFitter{}
+	_ SampleFitter = GammaFitter{}
+)
 
 // FamilyName implements Fitter.
 func (GammaFitter) FamilyName() string { return "gamma" }
 
 // Fit implements Fitter.
-func (GammaFitter) Fit(data []float64) (Distribution, error) {
-	n, mean, _, err := sampleMoments(data, true)
+func (f GammaFitter) Fit(data []float64) (Distribution, error) {
+	return f.FitSample(NewSample(data))
+}
+
+// FitSample implements SampleFitter: the Minka iteration consumes only the
+// cached mean and mean-log, so the fit is O(iterations) with no data pass.
+func (GammaFitter) FitSample(sm *Sample) (Distribution, error) {
+	_, mean, _, err := sm.moments(true)
 	if err != nil {
 		return nil, fmt.Errorf("fit gamma: %w", err)
 	}
-	meanLog := 0.0
-	for _, x := range data {
-		meanLog += math.Log(x)
-	}
-	meanLog /= float64(n)
+	meanLog := sm.MeanLog()
 	s := math.Log(mean) - meanLog
 	if s <= 0 {
 		return nil, fmt.Errorf("fit gamma: degenerate sample (zero log-spread)")
@@ -248,14 +253,25 @@ type ErlangFitter struct {
 	MaxK int
 }
 
-var _ Fitter = ErlangFitter{}
+var (
+	_ Fitter       = ErlangFitter{}
+	_ SampleFitter = ErlangFitter{}
+)
 
 // FamilyName implements Fitter.
 func (ErlangFitter) FamilyName() string { return "erlang" }
 
 // Fit implements Fitter.
 func (f ErlangFitter) Fit(data []float64) (Distribution, error) {
-	_, mean, _, err := sampleMoments(data, true)
+	return f.FitSample(NewSample(data))
+}
+
+// FitSample implements SampleFitter. The Erlang log-likelihood is linear in
+// the sufficient statistics (n·k·lnβ + (k−1)Σln x − βΣx − n·lnΓ(k)), so the
+// profile search over shapes is O(maxK) instead of the slice path's
+// O(maxK·n) — the single largest win of the sorted-sample engine.
+func (f ErlangFitter) FitSample(s *Sample) (Distribution, error) {
+	_, mean, _, err := s.moments(true)
 	if err != nil {
 		return nil, fmt.Errorf("fit erlang: %w", err)
 	}
@@ -267,7 +283,7 @@ func (f ErlangFitter) Fit(data []float64) (Distribution, error) {
 	var best Erlang
 	for k := 1; k <= maxK; k++ {
 		e := Erlang{K: k, Rate: float64(k) / mean}
-		ll := LogLikelihood(e, data)
+		ll := s.gammaLogLikelihood(float64(k), e.Rate)
 		if ll > bestLL {
 			bestLL = ll
 			best = e

@@ -2,8 +2,6 @@ package dist
 
 import (
 	"fmt"
-	"math"
-	"sort"
 )
 
 // KSPolish refines a fitted distribution by coordinate descent on the
@@ -13,27 +11,40 @@ import (
 // the design contrasts against plain MLE — it usually buys a slightly
 // smaller KS at a much higher cost and with no likelihood guarantees.
 //
-// The data is sorted once; iters bounds the outer sweeps (0 means 40).
+// KSPolish is a compatibility wrapper that sorts the data once (via a
+// Sample) and delegates to KSPolishSample; iters bounds the outer sweeps
+// (0 means 40).
 func KSPolish(d Parametric, data []float64, iters int) (Distribution, float64, error) {
 	if len(data) == 0 {
+		return nil, 0, fmt.Errorf("dist: ks polish: %w", ErrTooFewPoints)
+	}
+	return KSPolishSample(d, NewSample(data), iters)
+}
+
+// KSPolishSample is KSPolish over a precomputed Sample: the coordinate
+// descent evaluates every candidate through the sample's memoized collapsed
+// ECDF (one CDF evaluation per distinct value rather than per point), with a
+// single reusable candidate buffer instead of one allocation per
+// perturbation.
+func KSPolishSample(d Parametric, s *Sample, iters int) (Distribution, float64, error) {
+	if s.N() == 0 {
 		return nil, 0, fmt.Errorf("dist: ks polish: %w", ErrTooFewPoints)
 	}
 	if iters <= 0 {
 		iters = 40
 	}
-	sorted := append([]float64(nil), data...)
-	sort.Float64s(sorted)
 
 	best := Distribution(d)
-	bestKS := ksSorted(best, sorted)
+	bestKS := s.KSStatistic(best)
 	params := d.Params()
+	cand := make([]float64, len(params))
 	step := 0.25 // 25% multiplicative perturbation, halved on stagnation
 
 	for sweep := 0; sweep < iters; sweep++ {
 		improved := false
 		for i := range params {
 			for _, dir := range []float64{1 + step, 1 / (1 + step)} {
-				cand := append([]float64(nil), params...)
+				copy(cand, params)
 				if cand[i] == 0 {
 					cand[i] = dir - 1 // escape exact zero additively
 				} else {
@@ -43,10 +54,13 @@ func KSPolish(d Parametric, data []float64, iters int) (Distribution, float64, e
 				if err != nil {
 					continue
 				}
-				if ks := ksSorted(nd, sorted); ks < bestKS {
+				if ks, ok := s.ksBelow(nd, bestKS); ok {
 					bestKS = ks
 					best = nd
-					params = cand
+					// Adopt the candidate by swapping buffers: cand is
+					// re-filled from params at the top of each probe, so
+					// the old params slice can be recycled.
+					params, cand = cand, params
 					improved = true
 				}
 			}
@@ -61,38 +75,31 @@ func KSPolish(d Parametric, data []float64, iters int) (Distribution, float64, e
 	return best, bestKS, nil
 }
 
-// ksSorted is KSStatistic on pre-sorted data.
-func ksSorted(d Distribution, sorted []float64) float64 {
-	n := len(sorted)
-	maxD := 0.0
-	for i, x := range sorted {
-		f := d.CDF(x)
-		if lo := math.Abs(f - float64(i)/float64(n)); lo > maxD {
-			maxD = lo
-		}
-		if hi := math.Abs(float64(i+1)/float64(n) - f); hi > maxD {
-			maxD = hi
-		}
-	}
-	return maxD
-}
-
 // KSPolishFitter wraps a base MLE fitter and polishes its result by KS
-// coordinate descent. It satisfies Fitter, so it can be dropped into the
-// model-selection candidate set for the ablation.
+// coordinate descent. It satisfies Fitter (and SampleFitter), so it can be
+// dropped into the model-selection candidate set for the ablation.
 type KSPolishFitter struct {
 	Base  Fitter
 	Iters int
 }
 
-var _ Fitter = KSPolishFitter{}
+var (
+	_ Fitter       = KSPolishFitter{}
+	_ SampleFitter = KSPolishFitter{}
+)
 
 // FamilyName implements Fitter.
 func (f KSPolishFitter) FamilyName() string { return f.Base.FamilyName() + "+kspolish" }
 
 // Fit implements Fitter.
 func (f KSPolishFitter) Fit(data []float64) (Distribution, error) {
-	d, err := f.Base.Fit(data)
+	return f.FitSample(NewSample(data))
+}
+
+// FitSample implements SampleFitter: the base fit and the polish share one
+// sorted sample.
+func (f KSPolishFitter) FitSample(s *Sample) (Distribution, error) {
+	d, err := fitWith(f.Base, s)
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +107,7 @@ func (f KSPolishFitter) Fit(data []float64) (Distribution, error) {
 	if !ok {
 		return d, nil
 	}
-	polished, _, err := KSPolish(p, data, f.Iters)
+	polished, _, err := KSPolishSample(p, s, f.Iters)
 	if err != nil {
 		return nil, err
 	}

@@ -129,27 +129,27 @@ func (LogLogistic) WithParams(p []float64) (Distribution, error) {
 // Newton polish of the shape on the profile likelihood.
 type LogLogisticFitter struct{}
 
-var _ Fitter = LogLogisticFitter{}
+var (
+	_ Fitter       = LogLogisticFitter{}
+	_ SampleFitter = LogLogisticFitter{}
+)
 
 // FamilyName implements Fitter.
 func (LogLogisticFitter) FamilyName() string { return "loglogistic" }
 
 // Fit implements Fitter.
-func (LogLogisticFitter) Fit(data []float64) (Distribution, error) {
-	if len(data) < 2 {
-		return nil, fmt.Errorf("fit loglogistic: %w", ErrTooFewPoints)
-	}
-	logs := make([]float64, len(data))
-	for i, x := range data {
-		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
-			return nil, fmt.Errorf("fit loglogistic: %w", ErrBadSample)
-		}
-		logs[i] = math.Log(x)
-	}
-	_, mu, variance, err := sampleMoments(logs, false)
-	if err != nil {
+func (f LogLogisticFitter) Fit(data []float64) (Distribution, error) {
+	return f.FitSample(NewSample(data))
+}
+
+// FitSample implements SampleFitter: the moment seed comes straight from the
+// cached log-moments; only the likelihood polish still scans the (sorted)
+// data.
+func (LogLogisticFitter) FitSample(sm *Sample) (Distribution, error) {
+	if _, _, _, err := sm.moments(true); err != nil {
 		return nil, fmt.Errorf("fit loglogistic: %w", err)
 	}
+	mu, variance := sm.MeanLog(), sm.VarLog()
 	if variance <= 0 {
 		return nil, fmt.Errorf("fit loglogistic: degenerate sample (all values equal)")
 	}
@@ -164,7 +164,7 @@ func (LogLogisticFitter) Fit(data []float64) (Distribution, error) {
 	if err != nil {
 		return nil, err
 	}
-	bestLL := LogLikelihood(best, data)
+	bestLL := sm.LogLikelihood(best)
 	step := 0.15
 	for iter := 0; iter < 60; iter++ {
 		improved := false
@@ -174,7 +174,7 @@ func (LogLogisticFitter) Fit(data []float64) (Distribution, error) {
 			{Alpha: best.Alpha, Beta: best.Beta * (1 + step)},
 			{Alpha: best.Alpha, Beta: best.Beta / (1 + step)},
 		} {
-			if ll := LogLikelihood(cand, data); ll > bestLL {
+			if ll := sm.LogLikelihood(cand); ll > bestLL {
 				bestLL = ll
 				best = cand
 				improved = true

@@ -87,31 +87,30 @@ func (l LogNormal) Rand(rng *rand.Rand) float64 {
 // standard deviation of ln x.
 type LogNormalFitter struct{}
 
-var _ Fitter = LogNormalFitter{}
+var (
+	_ Fitter       = LogNormalFitter{}
+	_ SampleFitter = LogNormalFitter{}
+)
 
 // FamilyName implements Fitter.
 func (LogNormalFitter) FamilyName() string { return "lognormal" }
 
 // Fit implements Fitter.
-func (LogNormalFitter) Fit(data []float64) (Distribution, error) {
-	if len(data) < 2 {
-		return nil, fmt.Errorf("fit lognormal: %w", ErrTooFewPoints)
-	}
-	logs := make([]float64, len(data))
-	for i, x := range data {
-		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
-			return nil, fmt.Errorf("fit lognormal: %w", ErrBadSample)
-		}
-		logs[i] = math.Log(x)
-	}
-	_, mu, variance, err := sampleMoments(logs, false)
-	if err != nil {
+func (f LogNormalFitter) Fit(data []float64) (Distribution, error) {
+	return f.FitSample(NewSample(data))
+}
+
+// FitSample implements SampleFitter: the MLE is the cached mean and
+// variance of ln x — no log pass and no scratch slice per fit.
+func (LogNormalFitter) FitSample(s *Sample) (Distribution, error) {
+	if _, _, _, err := s.moments(true); err != nil {
 		return nil, fmt.Errorf("fit lognormal: %w", err)
 	}
+	variance := s.VarLog()
 	if variance <= 0 {
 		return nil, fmt.Errorf("fit lognormal: degenerate sample (all values equal)")
 	}
-	return NewLogNormal(mu, math.Sqrt(variance))
+	return NewLogNormal(s.MeanLog(), math.Sqrt(variance))
 }
 
 // Normal is the Gaussian distribution N(μ, σ²). Included to complete the
@@ -179,14 +178,22 @@ func (n Normal) Rand(rng *rand.Rand) float64 { return n.Mu + n.Sigma*rng.NormFlo
 // NormalFitter estimates a Gaussian by MLE.
 type NormalFitter struct{}
 
-var _ Fitter = NormalFitter{}
+var (
+	_ Fitter       = NormalFitter{}
+	_ SampleFitter = NormalFitter{}
+)
 
 // FamilyName implements Fitter.
 func (NormalFitter) FamilyName() string { return "normal" }
 
 // Fit implements Fitter.
-func (NormalFitter) Fit(data []float64) (Distribution, error) {
-	_, mu, variance, err := sampleMoments(data, false)
+func (f NormalFitter) Fit(data []float64) (Distribution, error) {
+	return f.FitSample(NewSample(data))
+}
+
+// FitSample implements SampleFitter.
+func (NormalFitter) FitSample(s *Sample) (Distribution, error) {
+	_, mu, variance, err := s.moments(false)
 	if err != nil {
 		return nil, fmt.Errorf("fit normal: %w", err)
 	}

@@ -95,31 +95,30 @@ func (p Pareto) Rand(rng *rand.Rand) float64 {
 // x̂_m = min(x), α̂ = n / Σ ln(x_i/x̂_m).
 type ParetoFitter struct{}
 
-var _ Fitter = ParetoFitter{}
+var (
+	_ Fitter       = ParetoFitter{}
+	_ SampleFitter = ParetoFitter{}
+)
 
 // FamilyName implements Fitter.
 func (ParetoFitter) FamilyName() string { return "pareto" }
 
 // Fit implements Fitter.
-func (ParetoFitter) Fit(data []float64) (Distribution, error) {
-	if len(data) < 2 {
-		return nil, fmt.Errorf("fit pareto: %w", ErrTooFewPoints)
+func (f ParetoFitter) Fit(data []float64) (Distribution, error) {
+	return f.FitSample(NewSample(data))
+}
+
+// FitSample implements SampleFitter: both parameters are closed-form in the
+// cached minimum and Σln x — Σ ln(x_i/x_m) = Σln x − n·ln x_m.
+func (ParetoFitter) FitSample(s *Sample) (Distribution, error) {
+	if _, _, _, err := s.moments(true); err != nil {
+		return nil, fmt.Errorf("fit pareto: %w", err)
 	}
-	xm := math.Inf(1)
-	for _, x := range data {
-		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
-			return nil, fmt.Errorf("fit pareto: %w", ErrBadSample)
-		}
-		if x < xm {
-			xm = x
-		}
-	}
-	sumLog := 0.0
-	for _, x := range data {
-		sumLog += math.Log(x / xm)
-	}
+	xm := s.Min()
+	n := float64(s.N())
+	sumLog := s.SumLog() - n*math.Log(xm)
 	if sumLog <= 0 {
 		return nil, fmt.Errorf("fit pareto: degenerate sample (all values equal)")
 	}
-	return NewPareto(xm, float64(len(data))/sumLog)
+	return NewPareto(xm, n/sumLog)
 }

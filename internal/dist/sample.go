@@ -1,0 +1,394 @@
+package dist
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Sample is an immutable, sort-once view of a float64 series. It carries the
+// ascending-sorted data plus one-pass sufficient statistics — n, Σx, Σx²,
+// Σln x, Σ(ln x)², Σ1/x, min, max — and stable two-pass central moments, so
+// the fitting stack can estimate every candidate family and compute
+// goodness-of-fit statistics without re-copying, re-sorting, or re-deriving
+// moments per family.
+//
+// A Sample never mutates its data after construction and is safe for
+// concurrent use. The slice returned by Sorted is shared, not copied;
+// callers must treat it as read-only.
+//
+// Sufficient-statistics contract: Sum/SumSq/Min/Max/Mean/Variance are valid
+// whenever the data is finite (no NaN/±Inf); the log- and reciprocal-based
+// statistics (SumLog, SumLogSq, SumInv, MeanLog, VarLog) are valid only when
+// every point is strictly positive, and are NaN otherwise. Err reports why a
+// sample cannot be fitted (too few points, non-finite values).
+type Sample struct {
+	sorted []float64 // ascending; shared with Sorted callers
+
+	sum      float64 // Σx
+	sumSq    float64 // Σx²
+	sumLog   float64 // Σ ln x   (NaN unless all x > 0)
+	sumLogSq float64 // Σ (ln x)² (NaN unless all x > 0)
+	sumInv   float64 // Σ 1/x    (NaN unless all x > 0)
+	min, max float64
+
+	mean, variance float64 // two-pass population moments
+	meanLog, varLog float64 // two-pass moments of ln x (NaN unless all x > 0)
+
+	positive bool  // every point > 0
+	err      error // nil, ErrTooFewPoints, or ErrBadSample (NaN/Inf present)
+
+	ecdfOnce sync.Once
+	ecdfX    []float64 // distinct sorted values
+	ecdfF    []float64 // F_n at each distinct value
+}
+
+// NewSample copies data, sorts the copy ascending, and precomputes the
+// sufficient statistics. The input is never mutated.
+func NewSample(data []float64) *Sample {
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	return newSampleOwned(sorted)
+}
+
+// NewSampleSorted builds a Sample around an already-sorted series without
+// copying it; the Sample takes ownership and the caller must not mutate the
+// slice afterwards. Unsorted input is detected (one O(n) scan) and handled
+// by falling back to a private sorted copy, so the constructor is safe
+// either way.
+func NewSampleSorted(sorted []float64) *Sample {
+	if !sort.Float64sAreSorted(sorted) {
+		cp := append([]float64(nil), sorted...)
+		sort.Float64s(cp)
+		sorted = cp
+	}
+	return newSampleOwned(sorted)
+}
+
+// newSampleOwned computes the statistics over a sorted slice the Sample owns.
+func newSampleOwned(sorted []float64) *Sample {
+	s := &Sample{sorted: sorted}
+	n := len(sorted)
+	if n == 0 {
+		s.err = ErrTooFewPoints
+		s.min, s.max = math.NaN(), math.NaN()
+		s.setLogStatsNaN()
+		s.mean, s.variance = math.NaN(), math.NaN()
+		return s
+	}
+	s.min, s.max = sorted[0], sorted[n-1]
+	s.positive = true
+	finite := true
+	for _, x := range sorted {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			finite = false
+		}
+		if x <= 0 {
+			s.positive = false
+		}
+		s.sum += x
+		s.sumSq += x * x
+	}
+	if !finite {
+		s.err = ErrBadSample
+		s.setLogStatsNaN()
+		s.mean, s.variance = math.NaN(), math.NaN()
+		return s
+	}
+	if n < 2 {
+		s.err = ErrTooFewPoints
+	}
+	s.mean = s.sum / float64(n)
+	if s.positive {
+		for _, x := range sorted {
+			l := math.Log(x)
+			s.sumLog += l
+			s.sumLogSq += l * l
+			s.sumInv += 1 / x
+		}
+		s.meanLog = s.sumLog / float64(n)
+	} else {
+		s.setLogStatsNaN()
+	}
+	// Second pass: centered sums, numerically stable for tight samples
+	// (Σx² − n·mean² cancels catastrophically; Σ(x−mean)² does not).
+	var ss, ssLog float64
+	for _, x := range sorted {
+		d := x - s.mean
+		ss += d * d
+		if s.positive {
+			dl := math.Log(x) - s.meanLog
+			ssLog += dl * dl
+		}
+	}
+	s.variance = ss / float64(n)
+	if s.positive {
+		s.varLog = ssLog / float64(n)
+	}
+	return s
+}
+
+func (s *Sample) setLogStatsNaN() {
+	nan := math.NaN()
+	s.sumLog, s.sumLogSq, s.sumInv = nan, nan, nan
+	s.meanLog, s.varLog = nan, nan
+}
+
+// N returns the sample size.
+func (s *Sample) N() int { return len(s.sorted) }
+
+// Sorted returns the ascending-sorted data. The slice is shared with the
+// Sample — callers must not mutate it.
+func (s *Sample) Sorted() []float64 { return s.sorted }
+
+// Err reports why the sample cannot be fitted: ErrTooFewPoints for n < 2,
+// ErrBadSample when a NaN or ±Inf is present, nil otherwise.
+func (s *Sample) Err() error { return s.err }
+
+// Positive reports whether every point is strictly positive (the support
+// requirement of all heavy-tailed candidate families).
+func (s *Sample) Positive() bool { return s.positive }
+
+// Min returns the smallest point.
+func (s *Sample) Min() float64 { return s.min }
+
+// Max returns the largest point.
+func (s *Sample) Max() float64 { return s.max }
+
+// Sum returns Σx.
+func (s *Sample) Sum() float64 { return s.sum }
+
+// SumSq returns Σx².
+func (s *Sample) SumSq() float64 { return s.sumSq }
+
+// SumLog returns Σ ln x (NaN unless all points are positive).
+func (s *Sample) SumLog() float64 { return s.sumLog }
+
+// SumLogSq returns Σ (ln x)² (NaN unless all points are positive).
+func (s *Sample) SumLogSq() float64 { return s.sumLogSq }
+
+// SumInv returns Σ 1/x (NaN unless all points are positive) — the extra
+// sufficient statistic the inverse-Gaussian closed-form MLE needs.
+func (s *Sample) SumInv() float64 { return s.sumInv }
+
+// Mean returns the arithmetic mean.
+func (s *Sample) Mean() float64 { return s.mean }
+
+// Variance returns the population variance (two-pass, stable).
+func (s *Sample) Variance() float64 { return s.variance }
+
+// MeanLog returns mean(ln x) (NaN unless all points are positive).
+func (s *Sample) MeanLog() float64 { return s.meanLog }
+
+// VarLog returns the population variance of ln x (NaN unless all points are
+// positive).
+func (s *Sample) VarLog() float64 { return s.varLog }
+
+// moments mirrors the validation the slice-based fitters performed: n ≥ 2,
+// finite data, and (when positive is set) a strictly positive support.
+func (s *Sample) moments(positive bool) (n int, mean, variance float64, err error) {
+	if s.err != nil {
+		return 0, 0, 0, s.err
+	}
+	if positive && !s.positive {
+		return 0, 0, 0, ErrBadSample
+	}
+	return len(s.sorted), s.mean, s.variance, nil
+}
+
+// ECDF returns F_n(x) = (#points ≤ x)/n, via binary search on the sorted
+// data — zero allocation.
+func (s *Sample) ECDF(x float64) float64 {
+	if len(s.sorted) == 0 {
+		return math.NaN()
+	}
+	idx := sort.SearchFloat64s(s.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(s.sorted))
+}
+
+// ECDFPoints returns the empirical CDF's step points (x, F_n(x)) at every
+// distinct sample value, built lazily on first use and memoized; concurrent
+// callers share one build.
+func (s *Sample) ECDFPoints() (xs, fs []float64) {
+	s.ecdfOnce.Do(func() {
+		n := float64(len(s.sorted))
+		for i := 0; i < len(s.sorted); i++ {
+			if i+1 < len(s.sorted) && s.sorted[i+1] == s.sorted[i] {
+				continue // collapse ties to the last occurrence
+			}
+			s.ecdfX = append(s.ecdfX, s.sorted[i])
+			s.ecdfF = append(s.ecdfF, float64(i+1)/n)
+		}
+	})
+	return s.ecdfX, s.ecdfF
+}
+
+// KSStatistic returns the one-sample Kolmogorov–Smirnov statistic of the
+// sample against d, evaluated over the memoized collapsed ECDF: within a run
+// of tied points the deviation |F_n − F| is extremal at the run boundaries,
+// so only distinct values need a CDF evaluation. The result is bit-identical
+// to KSStatisticSorted over the full sorted data (the boundary fractions are
+// the same float64(i)/float64(n) quotients), just cheaper whenever the
+// series has ties — quantized job runtimes commonly do.
+func (s *Sample) KSStatistic(d Distribution) float64 {
+	if len(s.sorted) == 0 {
+		return math.NaN()
+	}
+	xs, fs := s.ECDFPoints()
+	maxD := 0.0
+	prev := 0.0 // F_n just below the first distinct value
+	for i, x := range xs {
+		f := d.CDF(x)
+		if lo := math.Abs(f - prev); lo > maxD {
+			maxD = lo
+		}
+		if hi := math.Abs(fs[i] - f); hi > maxD {
+			maxD = hi
+		}
+		prev = fs[i]
+	}
+	return maxD
+}
+
+// ksBelow reports whether the KS statistic of d is strictly below bound,
+// returning the exact statistic when it is. The scan aborts as soon as the
+// running maximum reaches bound — the final statistic can only be ≥ that
+// prefix maximum, so the accept/reject decision (and the exact value on
+// accept) is identical to a full KSStatistic evaluation. This is the
+// branch-and-bound core of the KS-polish coordinate descent, where nearly
+// every candidate is a rejection.
+func (s *Sample) ksBelow(d Distribution, bound float64) (float64, bool) {
+	xs, fs := s.ECDFPoints()
+	maxD := 0.0
+	prev := 0.0
+	for i, x := range xs {
+		f := d.CDF(x)
+		if lo := math.Abs(f - prev); lo > maxD {
+			maxD = lo
+		}
+		if hi := math.Abs(fs[i] - f); hi > maxD {
+			maxD = hi
+		}
+		if maxD >= bound {
+			return maxD, false
+		}
+		prev = fs[i]
+	}
+	return maxD, true
+}
+
+// Quantile returns the type-7 (R/NumPy default) p-quantile of the sample.
+func (s *Sample) Quantile(p float64) float64 {
+	n := len(s.sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if p <= 0 || n == 1 {
+		return s.sorted[0]
+	}
+	if p >= 1 {
+		return s.sorted[n-1]
+	}
+	h := p * float64(n-1)
+	lo := int(math.Floor(h))
+	frac := h - float64(lo)
+	if lo+1 >= n {
+		return s.sorted[n-1]
+	}
+	return s.sorted[lo] + frac*(s.sorted[lo+1]-s.sorted[lo])
+}
+
+// SampleFitter is a Fitter that can estimate its family directly from a
+// precomputed Sample, skipping the per-fit validation and moment passes. All
+// families in this package implement it; FitAllSample falls back to
+// Fit(sample.Sorted()) for third-party fitters that do not.
+type SampleFitter interface {
+	Fitter
+	// FitSample returns the MLE distribution for the sample.
+	FitSample(s *Sample) (Distribution, error)
+}
+
+// fitWith dispatches to the Sample-based estimator when the fitter supports
+// it and falls back to the slice API (over the sorted view, zero-copy)
+// otherwise.
+func fitWith(f Fitter, s *Sample) (Distribution, error) {
+	if sf, ok := f.(SampleFitter); ok {
+		return sf.FitSample(s)
+	}
+	return f.Fit(s.Sorted())
+}
+
+// LogLikelihood returns Σ ln f(x_i) over the sample. For the families whose
+// log-density is linear in the precomputed sufficient statistics
+// (exponential, gamma/Erlang, Pareto, log-normal, normal, inverse Gaussian)
+// it is evaluated in closed form with zero passes over the data; Weibull and
+// unknown families fall back to one O(n) scan of the sorted view.
+func (s *Sample) LogLikelihood(d Distribution) float64 {
+	n := float64(len(s.sorted))
+	if n == 0 {
+		return 0
+	}
+	if s.err == ErrBadSample {
+		// NaN/Inf present: the scan reproduces the slice semantics exactly.
+		return LogLikelihood(d, s.sorted)
+	}
+	switch v := d.(type) {
+	case Exponential:
+		if s.min < 0 {
+			return math.Inf(-1)
+		}
+		return n*math.Log(v.Rate) - v.Rate*s.sum
+	case Pareto:
+		if s.min < v.Xm {
+			return math.Inf(-1)
+		}
+		return n*(math.Log(v.Alpha)+v.Alpha*math.Log(v.Xm)) - (v.Alpha+1)*s.sumLog
+	case LogNormal:
+		if !s.positive {
+			return math.Inf(-1)
+		}
+		// Σz² with z = (ln x − μ)/σ, via the stable centered moments:
+		// Σ(ln x − μ)² = n·(VarLog + (MeanLog − μ)²).
+		dm := s.meanLog - v.Mu
+		zz := n * (s.varLog + dm*dm) / (v.Sigma * v.Sigma)
+		return -zz/2 - s.sumLog - n*math.Log(v.Sigma) - 0.5*n*math.Log(2*math.Pi)
+	case Gamma:
+		return s.gammaLogLikelihood(v.Shape, v.Rate)
+	case Erlang:
+		return s.gammaLogLikelihood(float64(v.K), v.Rate)
+	case InverseGaussian:
+		if !s.positive {
+			return math.Inf(-1)
+		}
+		// Σ(x−μ)²/x = Σx − 2nμ + μ²Σ1/x.
+		q := s.sum - 2*v.Mu*n + v.Mu*v.Mu*s.sumInv
+		return 0.5*n*math.Log(v.Lambda/(2*math.Pi)) - 1.5*s.sumLog - v.Lambda*q/(2*v.Mu*v.Mu)
+	case Normal:
+		dm := s.mean - v.Mu
+		zz := n * (s.variance + dm*dm) / (v.Sigma * v.Sigma)
+		return -zz/2 - n*math.Log(v.Sigma) - 0.5*n*math.Log(2*math.Pi)
+	default:
+		return LogLikelihood(d, s.sorted)
+	}
+}
+
+// gammaLogLikelihood is the closed-form gamma/Erlang log-likelihood
+// n·k·lnβ + (k−1)·Σln x − β·Σx − n·lnΓ(k).
+func (s *Sample) gammaLogLikelihood(shape, rate float64) float64 {
+	if !s.positive {
+		return math.Inf(-1)
+	}
+	n := float64(len(s.sorted))
+	return n*shape*math.Log(rate) + (shape-1)*s.sumLog - rate*s.sum - n*lnGamma(shape)
+}
+
+// AIC returns 2k − 2lnL using the closed-form likelihood where available.
+func (s *Sample) AIC(d Distribution) float64 {
+	return 2*float64(d.NumParams()) - 2*s.LogLikelihood(d)
+}
+
+// BIC returns k·ln n − 2lnL using the closed-form likelihood where
+// available.
+func (s *Sample) BIC(d Distribution) float64 {
+	return float64(d.NumParams())*math.Log(float64(len(s.sorted))) - 2*s.LogLikelihood(d)
+}

@@ -11,24 +11,34 @@ import (
 
 // KSStatistic returns the one-sample Kolmogorov–Smirnov statistic
 // D_n = sup_x |F_n(x) − F(x)| between the empirical CDF of data and the
-// distribution d. The input need not be sorted.
+// distribution d. The input need not be sorted; it is copied and sorted
+// once. Callers that already hold sorted data (or a Sample) should use
+// KSStatisticSorted, which allocates nothing.
 func KSStatistic(d Distribution, data []float64) float64 {
-	n := len(data)
+	if len(data) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(data))
+	copy(sorted, data)
+	sort.Float64s(sorted)
+	return KSStatisticSorted(d, sorted)
+}
+
+// KSStatisticSorted is KSStatistic over ascending-sorted data. It is the
+// shared zero-allocation core of KSStatistic, KSPolish and the model
+// selection in FitAll.
+func KSStatisticSorted(d Distribution, sorted []float64) float64 {
+	n := len(sorted)
 	if n == 0 {
 		return math.NaN()
 	}
-	sorted := make([]float64, n)
-	copy(sorted, data)
-	sort.Float64s(sorted)
 	maxD := 0.0
 	for i, x := range sorted {
 		f := d.CDF(x)
-		lo := math.Abs(f - float64(i)/float64(n))
-		hi := math.Abs(float64(i+1)/float64(n) - f)
-		if lo > maxD {
+		if lo := math.Abs(f - float64(i)/float64(n)); lo > maxD {
 			maxD = lo
 		}
-		if hi > maxD {
+		if hi := math.Abs(float64(i+1)/float64(n) - f); hi > maxD {
 			maxD = hi
 		}
 	}
@@ -39,14 +49,25 @@ func KSStatistic(d Distribution, data []float64) float64 {
 // against d. AD weights the tails more heavily than KS, so the two
 // statistics disagreeing flags a tail mismatch. Returns NaN for an empty
 // sample or +Inf when a point falls outside d's support (F = 0 or 1).
+// The input need not be sorted; ADStatisticSorted is the allocation-free
+// core for pre-sorted data.
 func ADStatistic(d Distribution, data []float64) float64 {
-	n := len(data)
+	if len(data) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(data))
+	copy(sorted, data)
+	sort.Float64s(sorted)
+	return ADStatisticSorted(d, sorted)
+}
+
+// ADStatisticSorted is ADStatistic over ascending-sorted data, with zero
+// allocations.
+func ADStatisticSorted(d Distribution, sorted []float64) float64 {
+	n := len(sorted)
 	if n == 0 {
 		return math.NaN()
 	}
-	sorted := make([]float64, n)
-	copy(sorted, data)
-	sort.Float64s(sorted)
 	sum := 0.0
 	for i := 0; i < n; i++ {
 		fi := d.CDF(sorted[i])
@@ -91,22 +112,40 @@ func DefaultFitters() []Fitter {
 // AIC as a tiebreaker. Families that fail to fit sort last and carry Err.
 // The candidates are fitted concurrently on all cores; use FitAllParallel
 // to bound the worker count.
+//
+// FitAll is a compatibility wrapper: it builds one Sample (copy + sort +
+// sufficient statistics) and delegates to FitAllSample, so the data is
+// sorted once for all candidates instead of once per statistic.
 func FitAll(data []float64, fitters []Fitter) []FitResult {
 	return FitAllParallel(data, fitters, 0)
 }
 
 // FitAllParallel is FitAll with an explicit worker bound (≤ 0 means
-// GOMAXPROCS). Each candidate family's fit + goodness-of-fit statistics are
-// independent, so they fan out across the pool; results land in the slot of
-// their fitter and the final stable sort is unchanged, making the ranking
-// identical to the serial path for any worker count.
+// GOMAXPROCS).
 func FitAllParallel(data []float64, fitters []Fitter, workers int) []FitResult {
+	return FitAllSampleParallel(NewSample(data), fitters, workers)
+}
+
+// FitAllSample fits every candidate family to a precomputed Sample; see
+// FitAll for the ranking contract. No candidate copies or re-sorts the
+// data, and the KS/AD/likelihood statistics are computed allocation-free
+// over the shared sorted view.
+func FitAllSample(s *Sample, fitters []Fitter) []FitResult {
+	return FitAllSampleParallel(s, fitters, 0)
+}
+
+// FitAllSampleParallel is FitAllSample with an explicit worker bound (≤ 0
+// means GOMAXPROCS). Each candidate family's fit + goodness-of-fit
+// statistics are independent, so they fan out across the pool; results land
+// in the slot of their fitter and the final stable sort is unchanged,
+// making the ranking identical to the serial path for any worker count.
+func FitAllSampleParallel(s *Sample, fitters []Fitter, workers int) []FitResult {
 	if len(fitters) == 0 {
 		fitters = DefaultFitters()
 	}
 	results := make([]FitResult, len(fitters))
 	if err := par.ForEach(context.Background(), len(fitters), workers, func(i int) error {
-		results[i] = fitOne(fitters[i], data)
+		results[i] = fitOne(fitters[i], s)
 		return nil
 	}); err != nil {
 		// fitOne reports failures through FitResult.Err; the only error
@@ -133,10 +172,12 @@ func FitAllParallel(data []float64, fitters []Fitter, workers int) []FitResult {
 }
 
 // fitOne fits a single candidate family and computes its goodness-of-fit
-// statistics.
-func fitOne(f Fitter, data []float64) FitResult {
+// statistics from the shared sorted sample. The log-likelihood is computed
+// once and reused for AIC and BIC (the slice path recomputed it three
+// times).
+func fitOne(f Fitter, s *Sample) FitResult {
 	r := FitResult{Family: f.FamilyName()}
-	d, err := f.Fit(data)
+	d, err := fitWith(f, s)
 	if err != nil {
 		r.Err = err
 		r.KS = math.Inf(1)
@@ -147,21 +188,26 @@ func fitOne(f Fitter, data []float64) FitResult {
 		return r
 	}
 	r.Dist = d
-	r.KS = KSStatistic(d, data)
-	r.AD = ADStatistic(d, data)
-	r.PValue = KolmogorovPValue(r.KS, len(data))
-	r.LogL = LogLikelihood(d, data)
-	r.AIC = AIC(d, data)
-	r.BIC = BIC(d, data)
+	r.KS = s.KSStatistic(d)
+	r.AD = ADStatisticSorted(d, s.Sorted())
+	r.PValue = KolmogorovPValue(r.KS, s.N())
+	r.LogL = s.LogLikelihood(d)
+	r.AIC = 2*float64(d.NumParams()) - 2*r.LogL
+	r.BIC = float64(d.NumParams())*math.Log(float64(s.N())) - 2*r.LogL
 	return r
 }
 
 // SelectBest fits every candidate family and returns the winner by KS
 // statistic. It errors only if no family fits.
 func SelectBest(data []float64, fitters []Fitter) (FitResult, error) {
-	results := FitAll(data, fitters)
+	return SelectBestSample(NewSample(data), fitters)
+}
+
+// SelectBestSample is SelectBest over a precomputed Sample.
+func SelectBestSample(s *Sample, fitters []Fitter) (FitResult, error) {
+	results := FitAllSample(s, fitters)
 	if len(results) == 0 || results[0].Err != nil {
-		return FitResult{}, fmt.Errorf("dist: no candidate family fits the sample (n=%d)", len(data))
+		return FitResult{}, fmt.Errorf("dist: no candidate family fits the sample (n=%d)", s.N())
 	}
 	return results[0], nil
 }

@@ -104,22 +104,35 @@ func (w Weibull) Rand(rng *rand.Rand) float64 {
 // the closed form λ̂ = (Σ x_i^k / n)^{1/k}.
 type WeibullFitter struct{}
 
-var _ Fitter = WeibullFitter{}
+var (
+	_ Fitter       = WeibullFitter{}
+	_ SampleFitter = WeibullFitter{}
+)
 
 // FamilyName implements Fitter.
 func (WeibullFitter) FamilyName() string { return "weibull" }
 
 // Fit implements Fitter.
-func (WeibullFitter) Fit(data []float64) (Distribution, error) {
-	n, mean, variance, err := sampleMoments(data, true)
+func (f WeibullFitter) Fit(data []float64) (Distribution, error) {
+	return f.FitSample(NewSample(data))
+}
+
+// FitSample implements SampleFitter. The shape equation still needs Σx^k
+// per iteration (it is not linear in the sufficient statistics), but the
+// Sample engine cuts the cost three ways: ln x is computed once and reused
+// so each x^k is one Exp instead of a Pow, the derivative g′ is analytic
+// (g, g′ share a single data pass where the numeric derivative needed
+// three), and mean/variance/mean-log come from the cached statistics.
+func (WeibullFitter) FitSample(s *Sample) (Distribution, error) {
+	n, mean, variance, err := s.moments(true)
 	if err != nil {
 		return nil, fmt.Errorf("fit weibull: %w", err)
 	}
-	meanLog := 0.0
-	for _, x := range data {
-		meanLog += math.Log(x)
+	meanLog := s.MeanLog()
+	logs := make([]float64, n)
+	for i, x := range s.Sorted() {
+		logs[i] = math.Log(x)
 	}
-	meanLog /= float64(n)
 
 	// Moment-based starting point: CV relates to shape via
 	// CV² = Γ(1+2/k)/Γ(1+1/k)² − 1; the crude inversion k ≈ (mean/sd)^1.086
@@ -132,27 +145,38 @@ func (WeibullFitter) Fit(data []float64) (Distribution, error) {
 		k = 0.5
 	}
 
+	// One pass evaluates g(k) = Σx^k ln x / Σx^k − 1/k − mean(ln x) and its
+	// analytic derivative g′(k) = Var-like term + 1/k², with x^k = e^{k·ln x}.
+	gAndDeriv := func(k float64) (g, dg float64) {
+		var sxk, sxkl, sxkl2 float64
+		for _, lx := range logs {
+			xk := math.Exp(k * lx)
+			xkl := xk * lx
+			sxk += xk
+			sxkl += xkl
+			sxkl2 += xkl * lx
+		}
+		r := sxkl / sxk
+		return r - 1/k - meanLog, sxkl2/sxk - r*r + 1/(k*k)
+	}
 	g := func(k float64) float64 {
 		var sxk, sxkl float64
-		for _, x := range data {
-			xk := math.Pow(x, k)
+		for _, lx := range logs {
+			xk := math.Exp(k * lx)
 			sxk += xk
-			sxkl += xk * math.Log(x)
+			sxkl += xk * lx
 		}
 		return sxkl/sxk - 1/k - meanLog
 	}
 
-	// Newton iterations with numeric derivative.
 	const tol = 1e-10
 	converged := false
 	for iter := 0; iter < 100; iter++ {
-		gk := g(k)
+		gk, dg := gAndDeriv(k)
 		if math.Abs(gk) < tol {
 			converged = true
 			break
 		}
-		h := 1e-6 * math.Max(1, k)
-		dg := (g(k+h) - g(k-h)) / (2 * h)
 		if dg == 0 || math.IsNaN(dg) {
 			break
 		}
@@ -187,8 +211,8 @@ func (WeibullFitter) Fit(data []float64) (Distribution, error) {
 	}
 
 	sxk := 0.0
-	for _, x := range data {
-		sxk += math.Pow(x, k)
+	for _, lx := range logs {
+		sxk += math.Exp(k * lx)
 	}
 	scale := math.Pow(sxk/float64(n), 1/k)
 	return NewWeibull(k, scale)

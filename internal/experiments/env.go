@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/report"
 	"repro/internal/sim"
 )
@@ -35,11 +36,31 @@ type Env struct {
 // pointer so an Env value can be copied without copying locks; sync.Once
 // makes each analysis safe to request from concurrently running
 // experiments while computing it exactly once.
+//
+// Beyond the classifications it holds the derived-series cache: sorted
+// job-duration Samples per outcome, the per-job core-hours series, and the
+// default-rule MTTI / availability / survival results with their interval
+// and repair-time Samples — the series E5/E6/E12/E22/E23 would otherwise
+// re-extract and re-sort per experiment.
 type envCache struct {
 	exitOnce  sync.Once
 	exit      *core.Classification
 	jointOnce sync.Once
 	joint     *core.Classification
+
+	durOnce           sync.Once
+	durSucc, durFail  *dist.Sample
+	coreHoursOnce     sync.Once
+	coreHours         []float64
+	mttiOnce          sync.Once
+	mtti              *core.MTTIResult
+	mttiErr           error
+	availOnce         sync.Once
+	avail             *core.AvailabilityResult
+	availErr          error
+	survOnce          sync.Once
+	surv              *core.SurvivalResult
+	survErr           error
 }
 
 // NewEnv generates a corpus and indexes it. Generation uses all cores; use
@@ -90,6 +111,94 @@ func (e *Env) ClassifyJoint() *core.Classification {
 	}
 	e.cache.jointOnce.Do(func() { e.cache.joint = e.D.ClassifyJoint(core.DefaultJointOptions()) })
 	return e.cache.joint
+}
+
+// DurationSamples returns the per-outcome execution-length Samples
+// (seconds, sorted with sufficient statistics): succeeded and failed jobs.
+// The extraction and sort happen once per environment no matter how many
+// experiments request them.
+func (e *Env) DurationSamples() (succeeded, failed *dist.Sample) {
+	build := func() (*dist.Sample, *dist.Sample) {
+		s, f := e.D.ExecutionLengthCDFs() // already sorted ascending
+		return dist.NewSampleSorted(s), dist.NewSampleSorted(f)
+	}
+	if e.cache == nil {
+		return build()
+	}
+	e.cache.durOnce.Do(func() { e.cache.durSucc, e.cache.durFail = build() })
+	return e.cache.durSucc, e.cache.durFail
+}
+
+// JobCoreHours returns the per-job core-hours series, aligned with D.Jobs
+// (use D.JobPos to index it by job id), computed once per environment.
+func (e *Env) JobCoreHours() []float64 {
+	build := func() []float64 {
+		ch := make([]float64, len(e.D.Jobs))
+		for i := range e.D.Jobs {
+			ch[i] = e.D.Jobs[i].CoreHours()
+		}
+		return ch
+	}
+	if e.cache == nil {
+		return build()
+	}
+	e.cache.coreHoursOnce.Do(func() { e.cache.coreHours = build() })
+	return e.cache.coreHours
+}
+
+// MTTI returns the default-rule mean-time-to-interruption analysis,
+// computed once per environment. Experiments needing a non-default filter
+// rule should call D.MTTI directly.
+func (e *Env) MTTI() (*core.MTTIResult, error) {
+	if e.cache == nil {
+		return e.D.MTTI(core.DefaultFilterRule())
+	}
+	e.cache.mttiOnce.Do(func() { e.cache.mtti, e.cache.mttiErr = e.D.MTTI(core.DefaultFilterRule()) })
+	return e.cache.mtti, e.cache.mttiErr
+}
+
+// InterruptionIntervals returns the sorted interruption-interval Sample
+// (hours) from the memoized default-rule MTTI analysis; nil when there are
+// too few incidents to form intervals.
+func (e *Env) InterruptionIntervals() (*dist.Sample, error) {
+	res, err := e.MTTI()
+	if err != nil {
+		return nil, err
+	}
+	return res.IntervalSample, nil
+}
+
+// LostCoreHours sums the core-hours of the jobs interrupted in r using the
+// memoized per-job core-hours series.
+func (e *Env) LostCoreHours(r *core.MTTIResult) float64 {
+	ch := e.JobCoreHours()
+	total := 0.0
+	for _, id := range r.InterruptedJobs() {
+		if pos, ok := e.D.JobPos(id); ok {
+			total += ch[pos]
+		}
+	}
+	return total
+}
+
+// Availability returns the service-action availability analysis (with its
+// repair-time Sample), computed once per environment.
+func (e *Env) Availability() (*core.AvailabilityResult, error) {
+	if e.cache == nil {
+		return e.D.Availability()
+	}
+	e.cache.availOnce.Do(func() { e.cache.avail, e.cache.availErr = e.D.Availability() })
+	return e.cache.avail, e.cache.availErr
+}
+
+// Survival returns the Kaplan–Meier time-to-user-failure analysis, computed
+// once per environment.
+func (e *Env) Survival() (*core.SurvivalResult, error) {
+	if e.cache == nil {
+		return e.D.Survival()
+	}
+	e.cache.survOnce.Do(func() { e.cache.surv, e.cache.survErr = e.D.Survival() })
+	return e.cache.surv, e.cache.survErr
 }
 
 // Result is one experiment's regenerated artifact.

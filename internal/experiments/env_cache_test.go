@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/joblog"
+)
+
+// TestDerivedSeriesMemoized checks every derived-series accessor hands back
+// the same computed object instead of re-deriving per caller.
+func TestDerivedSeriesMemoized(t *testing.T) {
+	e := env(t)
+	s1, f1 := e.DurationSamples()
+	s2, f2 := e.DurationSamples()
+	if s1 != s2 || f1 != f2 {
+		t.Error("DurationSamples recomputed instead of memoized")
+	}
+	ch1, ch2 := e.JobCoreHours(), e.JobCoreHours()
+	if len(ch1) == 0 || &ch1[0] != &ch2[0] {
+		t.Error("JobCoreHours recomputed instead of memoized")
+	}
+	m1, err1 := e.MTTI()
+	m2, err2 := e.MTTI()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("MTTI: %v, %v", err1, err2)
+	}
+	if m1 != m2 {
+		t.Error("MTTI recomputed instead of memoized")
+	}
+	iv1, _ := e.InterruptionIntervals()
+	iv2, _ := e.InterruptionIntervals()
+	if iv1 != iv2 {
+		t.Error("InterruptionIntervals not served from the memoized MTTI result")
+	}
+	if iv1 != m1.IntervalSample {
+		t.Error("InterruptionIntervals does not alias the MTTI interval sample")
+	}
+	a1, err1 := e.Availability()
+	a2, err2 := e.Availability()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("Availability: %v, %v", err1, err2)
+	}
+	if a1 != a2 {
+		t.Error("Availability recomputed instead of memoized")
+	}
+	sv1, err1 := e.Survival()
+	sv2, err2 := e.Survival()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("Survival: %v, %v", err1, err2)
+	}
+	if sv1 != sv2 {
+		t.Error("Survival recomputed instead of memoized")
+	}
+}
+
+// TestDerivedSeriesCacheConcurrent hammers every cached accessor from many
+// goroutines at once; the sync.Once guards must hand all of them the same
+// object with no data race (run with -race).
+func TestDerivedSeriesCacheConcurrent(t *testing.T) {
+	e := env(t)
+	const goroutines = 16
+	type view struct {
+		succ, fail *dist.Sample
+		coreHours  []float64
+		mtti       interface{}
+		avail      interface{}
+		surv       interface{}
+		exit       interface{}
+		joint      interface{}
+	}
+	views := make([]view, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v := &views[g]
+			v.succ, v.fail = e.DurationSamples()
+			v.coreHours = e.JobCoreHours()
+			v.mtti, _ = e.MTTI()
+			v.avail, _ = e.Availability()
+			v.surv, _ = e.Survival()
+			v.exit = e.ClassifyByExit()
+			v.joint = e.ClassifyJoint()
+			if res, _ := e.MTTI(); res != nil {
+				_ = e.LostCoreHours(res)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if views[g].succ != views[0].succ || views[g].fail != views[0].fail {
+			t.Fatalf("goroutine %d saw a different DurationSamples result", g)
+		}
+		if &views[g].coreHours[0] != &views[0].coreHours[0] {
+			t.Fatalf("goroutine %d saw a different JobCoreHours slice", g)
+		}
+		if views[g].mtti != views[0].mtti || views[g].avail != views[0].avail ||
+			views[g].surv != views[0].surv || views[g].exit != views[0].exit ||
+			views[g].joint != views[0].joint {
+			t.Fatalf("goroutine %d saw a different memoized analysis", g)
+		}
+	}
+}
+
+// TestEnvCacheNilFallback checks an Env built without a constructor (no
+// cache) still serves every derived series by direct computation.
+func TestEnvCacheNilFallback(t *testing.T) {
+	cached := env(t)
+	bare := &Env{D: cached.D}
+	s, f := bare.DurationSamples()
+	cs, cf := cached.DurationSamples()
+	if s.N() != cs.N() || f.N() != cf.N() {
+		t.Errorf("fallback DurationSamples sizes (%d,%d) != cached (%d,%d)", s.N(), f.N(), cs.N(), cf.N())
+	}
+	if len(bare.JobCoreHours()) != len(cached.JobCoreHours()) {
+		t.Error("fallback JobCoreHours length mismatch")
+	}
+	m, err := bare.MTTI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, _ := cached.MTTI()
+	if m.Interruptions != cm.Interruptions {
+		t.Errorf("fallback MTTI interruptions %d != cached %d", m.Interruptions, cm.Interruptions)
+	}
+	if got, want := bare.LostCoreHours(m), bare.D.LostCoreHours(m); got != want {
+		t.Errorf("LostCoreHours via cache = %v, direct = %v", got, want)
+	}
+	if _, err := bare.Availability(); err != nil {
+		t.Errorf("fallback Availability: %v", err)
+	}
+	if _, err := bare.Survival(); err != nil {
+		t.Errorf("fallback Survival: %v", err)
+	}
+}
+
+// TestLegacySampleEquivalenceOnExperimentSeries pins the compatibility
+// contract on the real E6/E12/E22 inputs: the legacy slice entry points and
+// the Sample-based cores must agree bit-for-bit on family ranking,
+// parameters, and every goodness-of-fit statistic.
+func TestLegacySampleEquivalenceOnExperimentSeries(t *testing.T) {
+	e := env(t)
+	series := map[string][]float64{}
+
+	// E6 input: failed-job runtimes of the largest exit family.
+	for _, fam := range joblog.FailureFamilies() {
+		if s := samplesOf(e, fam, 5000); len(s) >= 100 {
+			series["e6_"+string(fam)] = s
+			break
+		}
+	}
+	// E12 input: interruption intervals.
+	if m, err := e.MTTI(); err == nil && len(m.Intervals) >= 10 {
+		series["e12_intervals"] = m.Intervals
+	}
+	// E22 input: repair durations.
+	if a, err := e.Availability(); err == nil && len(a.RepairHours) >= 30 {
+		series["e22_repairs"] = a.RepairHours
+	}
+	if len(series) < 3 {
+		t.Fatalf("expected all three experiment series, got %d", len(series))
+	}
+
+	for name, data := range series {
+		legacy := dist.FitAll(data, nil)
+		viaSample := dist.FitAllSample(dist.NewSample(data), nil)
+		if len(legacy) != len(viaSample) {
+			t.Fatalf("%s: result counts %d vs %d", name, len(legacy), len(viaSample))
+		}
+		for i := range legacy {
+			a, b := legacy[i], viaSample[i]
+			if a.Family != b.Family || a.KS != b.KS || a.AD != b.AD ||
+				a.PValue != b.PValue || a.LogL != b.LogL || a.AIC != b.AIC || a.BIC != b.BIC {
+				t.Errorf("%s rank %d: legacy %+v != sample %+v", name, i, a, b)
+			}
+		}
+		bestLegacy, err1 := dist.SelectBest(data, nil)
+		bestSample, err2 := dist.SelectBestSample(dist.NewSample(data), nil)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: SelectBest err mismatch: %v vs %v", name, err1, err2)
+		}
+		if err1 == nil && (bestLegacy.Family != bestSample.Family || bestLegacy.KS != bestSample.KS) {
+			t.Errorf("%s: SelectBest %s/%v != SelectBestSample %s/%v",
+				name, bestLegacy.Family, bestLegacy.KS, bestSample.Family, bestSample.KS)
+		}
+		if p, ok := bestLegacy.Dist.(dist.Parametric); ok && err1 == nil {
+			_, ks1, e1 := dist.KSPolish(p, data, 10)
+			_, ks2, e2 := dist.KSPolishSample(p, dist.NewSample(data), 10)
+			if e1 != nil || e2 != nil {
+				t.Fatalf("%s: polish errs %v, %v", name, e1, e2)
+			}
+			if ks1 != ks2 {
+				t.Errorf("%s: KSPolish %v != KSPolishSample %v", name, ks1, ks2)
+			}
+		}
+	}
+}

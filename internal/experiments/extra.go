@@ -232,9 +232,9 @@ func E21(env *Env) (*Result, error) {
 
 // E22 regenerates the availability analysis: downtime derived from the
 // service-action pairs in the RAS log, machine availability, and the
-// repair-time distribution.
+// repair-time distribution, via the shared environment cache.
 func E22(env *Env) (*Result, error) {
-	a, err := env.D.Availability()
+	a, err := env.Availability()
 	if err != nil {
 		return nil, err
 	}
@@ -269,7 +269,7 @@ func E22(env *Env) (*Result, error) {
 // time to user failure with completed/system-killed jobs as censored
 // observations.
 func E23(env *Env) (*Result, error) {
-	sv, err := env.D.Survival()
+	sv, err := env.Survival()
 	if err != nil {
 		return nil, err
 	}

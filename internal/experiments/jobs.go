@@ -173,14 +173,17 @@ func E4(env *Env) (*Result, error) {
 }
 
 // E5 regenerates the execution-length CDF comparison of succeeded vs
-// failed jobs.
+// failed jobs, reading the per-outcome duration Samples from the shared
+// environment cache: the series are extracted and sorted once, and the
+// ECDFs and two-sample KS reuse the sorted views without copying.
 func E5(env *Env) (*Result, error) {
-	succ, fail := env.D.ExecutionLengthCDFs()
-	se, err := stats.NewECDF(succ)
+	succS, failS := env.DurationSamples()
+	succ, fail := succS.Sorted(), failS.Sorted()
+	se, err := stats.NewECDFSorted(succ)
 	if err != nil {
 		return nil, err
 	}
-	fe, err := stats.NewECDF(fail)
+	fe, err := stats.NewECDFSorted(fail)
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +197,7 @@ func E5(env *Env) (*Result, error) {
 			{Name: "failed", X: fx, Y: fp},
 		},
 	}
-	ks, err := stats.KSTwoSample(succ, fail)
+	ks, err := stats.KSTwoSampleSorted(succ, fail)
 	if err != nil {
 		return nil, err
 	}
@@ -233,6 +236,7 @@ func E6(env *Env) (*Result, error) {
 		t.AddRow(string(f.Family), f.N, best.Family, dist.ParamString(best.Dist), best.KS, runner, runnerKS)
 		metrics["ks_"+string(f.Family)] = best.KS
 		metrics["n_"+string(f.Family)] = float64(f.N)
+		metrics["median_s_"+string(f.Family)] = f.Summary.Median
 	}
 	// Baseline ablation: exponential-only fitting (no model selection).
 	tBase := &report.Table{
@@ -264,12 +268,13 @@ func E6(env *Env) (*Result, error) {
 		if !ok || best.Err != nil {
 			continue
 		}
-		sample := samplesOf(env, f.Family, 5000)
-		if len(sample) == 0 {
+		raw := samplesOf(env, f.Family, 5000)
+		if len(raw) == 0 {
 			continue
 		}
-		mleKS := dist.KSStatistic(best.Dist, sample)
-		_, polishedKS, err := dist.KSPolish(p, sample, 20)
+		sample := dist.NewSample(raw)
+		mleKS := dist.KSStatisticSorted(best.Dist, sample.Sorted())
+		_, polishedKS, err := dist.KSPolishSample(p, sample, 20)
 		if err != nil {
 			return nil, err
 		}

@@ -217,9 +217,12 @@ func incidentsAt(sweep []core.SweepPoint, w time.Duration) float64 {
 }
 
 // E12 regenerates the MTTI analysis: filtered job-interrupting incidents,
-// MTTI in days, and the best-fit law of interruption intervals.
+// MTTI in days, and the best-fit law of interruption intervals. The
+// default-rule analysis and the per-job core-hours series come from the
+// shared environment cache, and the interval CDF figure reuses the sorted
+// interval Sample the best-fit selection already built.
 func E12(env *Env) (*Result, error) {
-	res, err := env.D.MTTI(core.DefaultFilterRule())
+	res, err := env.MTTI()
 	if err != nil {
 		return nil, err
 	}
@@ -234,7 +237,7 @@ func E12(env *Env) (*Result, error) {
 	t.AddRow("MTTI (days)", res.MTTIDays)
 	t.AddRow("raw MTBF (days)", res.MTBFRawDays)
 	t.AddRow("interrupted jobs", len(res.InterruptedJobs()))
-	t.AddRow("lost core-hours (M)", env.D.LostCoreHours(res)/1e6)
+	t.AddRow("lost core-hours (M)", env.LostCoreHours(res)/1e6)
 	metrics := map[string]float64{
 		"mtti_days":     res.MTTIDays,
 		"interruptions": float64(res.Interruptions),
@@ -247,9 +250,10 @@ func E12(env *Env) (*Result, error) {
 		metrics["interval_fit_ks"] = res.BestFit.KS
 	}
 	out := &Result{ID: "E12", Description: "MTTI", Tables: []*report.Table{t}, Metrics: metrics}
-	if len(res.Intervals) > 1 {
-		// Interval CDF figure, downsampled to 21 quantiles for rendering.
-		ecdf, err := stats.NewECDF(res.Intervals)
+	if res.IntervalSample != nil && res.IntervalSample.N() > 1 {
+		// Interval CDF figure, downsampled to 21 quantiles for rendering; the
+		// ECDF adopts the Sample's already-sorted view without another sort.
+		ecdf, err := stats.NewECDFSorted(res.IntervalSample.Sorted())
 		if err != nil {
 			return nil, err
 		}

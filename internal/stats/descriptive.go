@@ -31,30 +31,36 @@ type Summary struct {
 	P99    float64
 }
 
-// Summarize computes a Summary of data.
+// Summarize computes a Summary of data. The input need not be sorted; it is
+// copied and sorted once. Callers that already hold an ascending series
+// should use SummarizeSorted, which skips the defensive copy + sort.
 func Summarize(data []float64) (Summary, error) {
 	if len(data) == 0 {
 		return Summary{}, ErrEmpty
 	}
-	s := Summary{N: len(data), Min: math.Inf(1), Max: math.Inf(-1)}
-	for _, x := range data {
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	return SummarizeSorted(sorted)
+}
+
+// SummarizeSorted computes a Summary of an ascending-sorted sample without
+// copying or re-sorting it. The input is not mutated. Unsorted input yields
+// wrong quantiles and min/max; when in doubt, use Summarize.
+func SummarizeSorted(sorted []float64) (Summary, error) {
+	if len(sorted) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := Summary{N: len(sorted), Min: sorted[0], Max: sorted[len(sorted)-1]}
+	for _, x := range sorted {
 		s.Sum += x
-		if x < s.Min {
-			s.Min = x
-		}
-		if x > s.Max {
-			s.Max = x
-		}
 	}
 	s.Mean = s.Sum / float64(s.N)
 	ss := 0.0
-	for _, x := range data {
+	for _, x := range sorted {
 		d := x - s.Mean
 		ss += d * d
 	}
 	s.Std = math.Sqrt(ss / float64(s.N))
-	sorted := append([]float64(nil), data...)
-	sort.Float64s(sorted)
 	s.Median = quantileSorted(sorted, 0.5)
 	s.P25 = quantileSorted(sorted, 0.25)
 	s.P75 = quantileSorted(sorted, 0.75)

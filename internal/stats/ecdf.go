@@ -20,6 +20,23 @@ func NewECDF(data []float64) (*ECDF, error) {
 	return &ECDF{sorted: sorted}, nil
 }
 
+// NewECDFSorted builds an ECDF around an already-sorted series without
+// copying it — the zero-allocation path for sorted derived series (e.g. a
+// dist.Sample's sorted view). The ECDF shares the slice and never mutates
+// it; the caller must not mutate it either. Unsorted input is detected and
+// falls back to a private sorted copy.
+func NewECDFSorted(sorted []float64) (*ECDF, error) {
+	if len(sorted) == 0 {
+		return nil, ErrEmpty
+	}
+	if !sort.Float64sAreSorted(sorted) {
+		cp := append([]float64(nil), sorted...)
+		sort.Float64s(cp)
+		sorted = cp
+	}
+	return &ECDF{sorted: sorted}, nil
+}
+
 // At returns F_n(x) = (#points ≤ x) / n.
 func (e *ECDF) At(x float64) float64 {
 	idx := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
@@ -63,7 +80,8 @@ func (e *ECDF) Series(k int) (xs, ps []float64) {
 }
 
 // KSTwoSample returns the two-sample Kolmogorov–Smirnov statistic between
-// samples a and b: sup_x |F_a(x) − F_b(x)|.
+// samples a and b: sup_x |F_a(x) − F_b(x)|. The inputs need not be sorted;
+// KSTwoSampleSorted is the allocation-free path for pre-sorted series.
 func KSTwoSample(a, b []float64) (float64, error) {
 	if len(a) == 0 || len(b) == 0 {
 		return 0, ErrEmpty
@@ -72,6 +90,15 @@ func KSTwoSample(a, b []float64) (float64, error) {
 	sb := append([]float64(nil), b...)
 	sort.Float64s(sa)
 	sort.Float64s(sb)
+	return KSTwoSampleSorted(sa, sb)
+}
+
+// KSTwoSampleSorted is KSTwoSample over ascending-sorted samples, with no
+// copies and no re-sorts. The inputs are not mutated.
+func KSTwoSampleSorted(sa, sb []float64) (float64, error) {
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0, ErrEmpty
+	}
 	var i, j int
 	var d float64
 	na, nb := float64(len(sa)), float64(len(sb))

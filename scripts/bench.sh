@@ -11,9 +11,10 @@
 #
 # The default set is the cheap paired benchmarks: the codec allocation
 # comparisons in internal/raslog (alloc_reduction metric), the
-# filter-sweep speedup comparison in internal/core (speedup metric), and
-# the LoadCSV/LoadPack corpus-load comparison in internal/pack (speedup
-# metric).
+# filter-sweep speedup comparison in internal/core (speedup metric), the
+# LoadCSV/LoadPack corpus-load comparison in internal/pack (speedup
+# metric), and the FitLegacy/FitSample model-selection comparison in
+# internal/dist (speedup metric).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,7 +24,7 @@ mkdir -p "$outdir"
 sha="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
 out="$outdir/BENCH_${sha}.json"
 
-pkgs=(./internal/raslog/ ./internal/core/ ./internal/pack/)
+pkgs=(./internal/raslog/ ./internal/core/ ./internal/pack/ ./internal/dist/)
 if [[ "${BENCH_FULL:-0}" == "1" ]]; then
   pkgs+=(.)
 fi
