@@ -1,0 +1,105 @@
+// Command miralint runs the repository's invariant-enforcement
+// analyzers (internal/lint) over a set of packages, go vet-style.
+//
+// Usage:
+//
+//	go run ./cmd/miralint [flags] [packages]
+//
+// With no package patterns it analyzes ./.... It prints one
+// file:line:col diagnostic per violation and exits non-zero if any
+// survive suppression; -json emits the diagnostics as a JSON array for
+// tooling. See DESIGN.md §12 for the analyzer catalogue and the
+// //lint:ignore suppression convention.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array instead of vet-style text")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: miralint [-json] [-list] [-analyzers a,b] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var selected []*lint.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "miralint: unknown analyzer %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+		analyzers = selected
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "miralint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "miralint: %v\n", err)
+		os.Exit(2)
+	}
+
+	var diags []lint.Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := lint.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "miralint: %v\n", err)
+			os.Exit(2)
+		}
+		diags = append(diags, ds...)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "miralint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "miralint: %d violation(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

@@ -39,12 +39,18 @@ func (d *Dataset) Resubmission() (*ResubmitResult, error) {
 		j := &d.Jobs[i]
 		byUser[j.User] = append(byUser[j.User], j)
 	}
+	users := make([]string, 0, len(byUser))
+	for u := range byUser {
+		users = append(users, u)
+	}
+	sort.Strings(users)
 	res := &ResubmitResult{}
 	var failAfterFail, failAfterSuccess int
 	var gapsFail, gapsSuccess []float64
 	fastResubs, totalFailGaps := 0, 0
 	totalJobs, totalFailed := 0, 0
-	for _, jobs := range byUser {
+	for _, u := range users {
+		jobs := byUser[u]
 		sort.Slice(jobs, func(a, b int) bool {
 			if !jobs[a].Submit.Equal(jobs[b].Submit) {
 				return jobs[a].Submit.Before(jobs[b].Submit)

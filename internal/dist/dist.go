@@ -61,4 +61,3 @@ func BIC(d Distribution, data []float64) float64 {
 	n := float64(len(data))
 	return float64(d.NumParams())*math.Log(n) - 2*LogLikelihood(d, data)
 }
-

@@ -32,7 +32,7 @@ type Sample struct {
 	sumInv   float64 // Σ 1/x    (NaN unless all x > 0)
 	min, max float64
 
-	mean, variance float64 // two-pass population moments
+	mean, variance  float64 // two-pass population moments
 	meanLog, varLog float64 // two-pass moments of ln x (NaN unless all x > 0)
 
 	positive bool  // every point > 0
@@ -66,6 +66,8 @@ func NewSampleSorted(sorted []float64) *Sample {
 }
 
 // newSampleOwned computes the statistics over a sorted slice the Sample owns.
+//
+//mira:hotpath
 func newSampleOwned(sorted []float64) *Sample {
 	s := &Sample{sorted: sorted}
 	n := len(sorted)
@@ -198,6 +200,8 @@ func (s *Sample) moments(positive bool) (n int, mean, variance float64, err erro
 
 // ECDF returns F_n(x) = (#points ≤ x)/n, via binary search on the sorted
 // data — zero allocation.
+//
+//mira:hotpath
 func (s *Sample) ECDF(x float64) float64 {
 	if len(s.sorted) == 0 {
 		return math.NaN()
@@ -230,6 +234,8 @@ func (s *Sample) ECDFPoints() (xs, fs []float64) {
 // to KSStatisticSorted over the full sorted data (the boundary fractions are
 // the same float64(i)/float64(n) quotients), just cheaper whenever the
 // series has ties — quantized job runtimes commonly do.
+//
+//mira:hotpath
 func (s *Sample) KSStatistic(d Distribution) float64 {
 	if len(s.sorted) == 0 {
 		return math.NaN()
@@ -257,6 +263,8 @@ func (s *Sample) KSStatistic(d Distribution) float64 {
 // accept) is identical to a full KSStatistic evaluation. This is the
 // branch-and-bound core of the KS-polish coordinate descent, where nearly
 // every candidate is a rejection.
+//
+//mira:hotpath
 func (s *Sample) ksBelow(d Distribution, bound float64) (float64, bool) {
 	xs, fs := s.ECDFPoints()
 	maxD := 0.0
@@ -278,6 +286,8 @@ func (s *Sample) ksBelow(d Distribution, bound float64) (float64, bool) {
 }
 
 // Quantile returns the type-7 (R/NumPy default) p-quantile of the sample.
+//
+//mira:hotpath
 func (s *Sample) Quantile(p float64) float64 {
 	n := len(s.sorted)
 	if n == 0 {
@@ -323,6 +333,8 @@ func fitWith(f Fitter, s *Sample) (Distribution, error) {
 // (exponential, gamma/Erlang, Pareto, log-normal, normal, inverse Gaussian)
 // it is evaluated in closed form with zero passes over the data; Weibull and
 // unknown families fall back to one O(n) scan of the sorted view.
+//
+//mira:hotpath
 func (s *Sample) LogLikelihood(d Distribution) float64 {
 	n := float64(len(s.sorted))
 	if n == 0 {

@@ -27,6 +27,8 @@ func KSStatistic(d Distribution, data []float64) float64 {
 // KSStatisticSorted is KSStatistic over ascending-sorted data. It is the
 // shared zero-allocation core of KSStatistic, KSPolish and the model
 // selection in FitAll.
+//
+//mira:hotpath
 func KSStatisticSorted(d Distribution, sorted []float64) float64 {
 	n := len(sorted)
 	if n == 0 {
@@ -63,6 +65,8 @@ func ADStatistic(d Distribution, data []float64) float64 {
 
 // ADStatisticSorted is ADStatistic over ascending-sorted data, with zero
 // allocations.
+//
+//mira:hotpath
 func ADStatisticSorted(d Distribution, sorted []float64) float64 {
 	n := len(sorted)
 	if n == 0 {

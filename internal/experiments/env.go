@@ -48,19 +48,19 @@ type envCache struct {
 	jointOnce sync.Once
 	joint     *core.Classification
 
-	durOnce           sync.Once
-	durSucc, durFail  *dist.Sample
-	coreHoursOnce     sync.Once
-	coreHours         []float64
-	mttiOnce          sync.Once
-	mtti              *core.MTTIResult
-	mttiErr           error
-	availOnce         sync.Once
-	avail             *core.AvailabilityResult
-	availErr          error
-	survOnce          sync.Once
-	surv              *core.SurvivalResult
-	survErr           error
+	durOnce          sync.Once
+	durSucc, durFail *dist.Sample
+	coreHoursOnce    sync.Once
+	coreHours        []float64
+	mttiOnce         sync.Once
+	mtti             *core.MTTIResult
+	mttiErr          error
+	availOnce        sync.Once
+	avail            *core.AvailabilityResult
+	availErr         error
+	survOnce         sync.Once
+	surv             *core.SurvivalResult
+	survErr          error
 }
 
 // NewEnv generates a corpus and indexes it. Generation uses all cores; use

@@ -9,17 +9,26 @@ import "strconv"
 // the strconv functions the codecs used before.
 
 // Int64 parses a base-10 int64 field.
+//
+//mira:hotpath
 func Int64(b []byte) (int64, error) {
+	//lint:ignore hotalloc the conversion does not escape into strconv, so it stays on the stack
 	return strconv.ParseInt(string(b), 10, 64)
 }
 
 // Int parses a base-10 int field.
+//
+//mira:hotpath
 func Int(b []byte) (int, error) {
+	//lint:ignore hotalloc the conversion does not escape into strconv, so it stays on the stack
 	return strconv.Atoi(string(b))
 }
 
 // Float parses a float64 field.
+//
+//mira:hotpath
 func Float(b []byte) (float64, error) {
+	//lint:ignore hotalloc the conversion does not escape into strconv, so it stays on the stack
 	return strconv.ParseFloat(string(b), 64)
 }
 
@@ -43,10 +52,13 @@ func NewInterner() *Interner {
 
 // Intern returns a string equal to b, reusing a previously returned
 // instance when one exists.
+//
+//mira:hotpath
 func (in *Interner) Intern(b []byte) string {
 	if s, ok := in.m[string(b)]; ok {
 		return s
 	}
+	//lint:ignore hotalloc one materialization per distinct vocabulary entry, amortized to zero by the interning map
 	s := string(b)
 	in.m[s] = s
 	return s

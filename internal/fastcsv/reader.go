@@ -39,6 +39,8 @@ func (r *Reader) Line() int { return r.line }
 
 // readLine returns the next physical line including its trailing newline
 // (if present). The returned slice is only valid until the next call.
+//
+//mira:hotpath
 func (r *Reader) readLine() ([]byte, error) {
 	line, err := r.br.ReadSlice('\n')
 	if err == bufio.ErrBufferFull {
@@ -71,6 +73,8 @@ func trimEOL(line []byte) []byte {
 
 // Read parses the next record. It returns io.EOF (and no record) at end of
 // input. Blank lines are skipped, matching encoding/csv.
+//
+//mira:hotpath
 func (r *Reader) Read() ([][]byte, error) {
 	var line []byte
 	for {

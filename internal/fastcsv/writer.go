@@ -33,6 +33,8 @@ func NewWriter(w io.Writer) *Writer {
 }
 
 // sep appends the comma separating fields within a record.
+//
+//mira:hotpath
 func (w *Writer) sep() {
 	if w.started {
 		w.buf = append(w.buf, ',')
@@ -41,6 +43,8 @@ func (w *Writer) sep() {
 }
 
 // String appends one field, quoting it exactly as encoding/csv would.
+//
+//mira:hotpath
 func (w *Writer) String(s string) {
 	w.sep()
 	if !needsQuotes(s) {
@@ -62,25 +66,34 @@ func (w *Writer) String(s string) {
 }
 
 // Bytes appends one field given as a byte slice, with the same quoting.
+//
+//mira:hotpath
 func (w *Writer) Bytes(b []byte) {
 	// The compiler does not allocate for this conversion unless the field
 	// needs escaping (String keeps sub-slicing the argument).
+	//lint:ignore hotalloc non-escaping conversion: String only sub-slices its argument, so no copy is made
 	w.String(string(b))
 }
 
 // Int appends an integer field.
+//
+//mira:hotpath
 func (w *Writer) Int(v int) {
 	w.sep()
 	w.buf = strconv.AppendInt(w.buf, int64(v), 10)
 }
 
 // Int64 appends a 64-bit integer field.
+//
+//mira:hotpath
 func (w *Writer) Int64(v int64) {
 	w.sep()
 	w.buf = strconv.AppendInt(w.buf, v, 10)
 }
 
 // Float appends a float field in strconv's 'f' format with prec digits.
+//
+//mira:hotpath
 func (w *Writer) Float(v float64, prec int) {
 	w.sep()
 	w.buf = strconv.AppendFloat(w.buf, v, 'f', prec, 64)
@@ -88,6 +101,8 @@ func (w *Writer) Float(v float64, prec int) {
 
 // EndRecord terminates the current row and flushes the buffer to the
 // underlying writer once it exceeds the flush threshold.
+//
+//mira:hotpath
 func (w *Writer) EndRecord() {
 	w.buf = append(w.buf, '\n')
 	w.started = false

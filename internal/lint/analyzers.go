@@ -1,0 +1,13 @@
+package lint
+
+// All returns every analyzer in the miralint suite, in the order they
+// run and report.
+func All() []*Analyzer {
+	return []*Analyzer{
+		FloatSum,
+		HotAlloc,
+		MapOrder,
+		NoDeterm,
+		PackFreeze,
+	}
+}

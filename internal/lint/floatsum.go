@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatSum guards the bit-identity of parallel runs against the one
+// numeric hazard worker pools introduce: floating-point addition is not
+// associative, so accumulating floats in whatever order goroutines
+// happen to finish yields run-dependent results. The par package's
+// contract is slot discipline — every task writes only its own indexed
+// slot, and any reduction happens serially afterwards.
+//
+// The analyzer inspects every callback passed to par.ForEach / par.Map
+// and the same-package functions reachable from it, and flags:
+//
+//   - floating-point accumulation (+=, -=, *=, /=, or x = x + v) into a
+//     variable captured from outside the callback — shared mutable
+//     state, both a data race and an order dependence (writes to an
+//     indexed slot, out[i] = v or out[i] += v, are the sanctioned
+//     pattern and pass);
+//   - floating-point accumulation into a package-level variable
+//     anywhere in the reachable set.
+var FloatSum = &Analyzer{
+	Name: "floatsum",
+	Doc: "flags order-sensitive floating-point accumulation (captured or global " +
+		"accumulators) in code reachable from par.ForEach/par.Map callbacks",
+	Run: runFloatSum,
+}
+
+// parPackageSuffix identifies the worker-pool package whose callbacks
+// define the parallel region.
+const parPackageSuffix = "internal/par"
+
+func runFloatSum(pass *Pass) error {
+	// Map from *types.Func to its declaration, for reachability.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	visited := map[*types.Func]bool{}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isParCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				switch cb := arg.(type) {
+				case *ast.FuncLit:
+					checkCallback(pass, cb)
+					reachFrom(pass, cb.Body, decls, visited)
+				case *ast.Ident:
+					if fn, ok := pass.ObjectOf(cb).(*types.Func); ok {
+						reachNamed(pass, fn, decls, visited)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isParCall reports whether the call targets a function of the par
+// worker-pool package.
+func isParCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(fn.Pkg().Path(), parPackageSuffix)
+}
+
+// checkCallback flags captured-accumulator writes inside the callback
+// literal itself.
+func checkCallback(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range floatAccumTargets(pass, st) {
+			// Indexed slots (out[i] op= v, out[i].f op= v) are the
+			// sanctioned pattern.
+			if hasIndex(lhs) {
+				continue
+			}
+			obj := rootObject(pass, lhs)
+			if obj == nil {
+				continue
+			}
+			if declaredOutside(obj, lit) {
+				pass.Reportf(st.Pos(), "parallel callback accumulates into %s, captured from outside the callback: reduction order depends on goroutine scheduling (and races); write to an indexed slot and reduce serially", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// reachFrom walks the same-package call graph from a callback body,
+// checking every reachable named function for global float
+// accumulation.
+func reachFrom(pass *Pass, body ast.Node, decls map[*types.Func]*ast.FuncDecl, visited map[*types.Func]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var callee types.Object
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			switch fun := v.Fun.(type) {
+			case *ast.Ident:
+				callee = pass.ObjectOf(fun)
+			case *ast.SelectorExpr:
+				callee = pass.ObjectOf(fun.Sel)
+			}
+		}
+		if fn, ok := callee.(*types.Func); ok {
+			reachNamed(pass, fn, decls, visited)
+		}
+		return true
+	})
+}
+
+// reachNamed checks a named function (if declared in this package) for
+// global float accumulation and recurses into its callees.
+func reachNamed(pass *Pass, fn *types.Func, decls map[*types.Func]*ast.FuncDecl, visited map[*types.Func]bool) {
+	if visited[fn] {
+		return
+	}
+	visited[fn] = true
+	fd, ok := decls[fn]
+	if !ok {
+		return // other package or no body
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range floatAccumTargets(pass, st) {
+			obj := rootObject(pass, lhs)
+			if v, ok := obj.(*types.Var); ok && isPackageLevel(pass, v) {
+				pass.Reportf(st.Pos(), "%s accumulates into package-level %s and is reachable from a parallel callback: reduction order depends on goroutine scheduling; accumulate locally and reduce serially", fn.Name(), v.Name())
+			}
+		}
+		return true
+	})
+	reachFrom(pass, fd.Body, decls, visited)
+}
+
+// floatAccumTargets returns the floating-point accumulation targets of
+// an assignment: lhs of op= with a float type, or x in `x = x + v`.
+func floatAccumTargets(pass *Pass, st *ast.AssignStmt) []ast.Expr {
+	var out []ast.Expr
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range st.Lhs {
+			if isFloat(pass.TypeOf(lhs)) {
+				out = append(out, lhs)
+			}
+		}
+	case token.ASSIGN:
+		for i, lhs := range st.Lhs {
+			if i >= len(st.Rhs) || !isFloat(pass.TypeOf(lhs)) {
+				continue
+			}
+			bin, ok := st.Rhs[i].(*ast.BinaryExpr)
+			if !ok {
+				continue
+			}
+			switch bin.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+				obj := rootObject(pass, lhs)
+				if obj != nil && (sameRoot(pass, bin.X, obj) || sameRoot(pass, bin.Y, obj)) {
+					out = append(out, lhs)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func isPackageLevel(pass *Pass, v *types.Var) bool {
+	return v.Parent() == pass.Pkg.Scope()
+}
+
+// hasIndex reports whether the lvalue path contains an index step.
+func hasIndex(e ast.Expr) bool {
+	for {
+		switch v := e.(type) {
+		case *ast.IndexExpr:
+			return true
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package lint
+
+// The analyzer test harness mirrors golang.org/x/tools' analysistest on
+// the standard library: each testdata package under testdata/src/<name>
+// is loaded with LoadDir, run through Run (so the //lint:ignore
+// suppression path is exercised exactly as in production), and the
+// surviving diagnostics are checked against `// want "regexp"`
+// expectation comments. Every diagnostic must be wanted and every want
+// must be matched, so both false positives and silently weakened
+// analyzers fail the suite.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// moduleRoot locates the repository root (the directory holding go.mod)
+// above the test's working directory; LoadDir resolves testdata imports
+// from there.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// loadTestdata loads one testdata package directory as an ad-hoc
+// package.
+func loadTestdata(t *testing.T, dir string) *Package {
+	t.Helper()
+	pkg, err := LoadDir(moduleRoot(t), dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	return pkg
+}
+
+// runOn loads a directory and runs the analyzers over it, returning the
+// post-suppression diagnostics.
+func runOn(t *testing.T, dir string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	pkg := loadTestdata(t, dir)
+	diags, err := Run(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("run over %s: %v", dir, err)
+	}
+	return diags
+}
+
+// A want is one expected diagnostic: a regexp that must match
+// "analyzer: message" of a diagnostic reported on the comment's line.
+type want struct {
+	pos     string // file:line, for error messages
+	re      *regexp.Regexp
+	matched bool
+}
+
+const wantMarker = "// want "
+
+var wantQuoted = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// parseWants extracts the `// want "regexp" ["regexp" ...]` comments of
+// a loaded package, keyed by file:line.
+func parseWants(t *testing.T, pkg *Package) map[string][]*want {
+	t.Helper()
+	wants := map[string][]*want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, wantMarker)
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := posKey(pos.Filename, pos.Line)
+				quoted := wantQuoted.FindAllStringSubmatch(c.Text[idx+len(wantMarker):], -1)
+				if len(quoted) == 0 {
+					t.Errorf("%s: `// want` comment with no quoted regexp", key)
+					continue
+				}
+				for _, q := range quoted {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", key, q[1], err)
+						continue
+					}
+					wants[key] = append(wants[key], &want{pos: key, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func posKey(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}
+
+// testAnalyzer runs analyzers over testdata/src/<name> and checks the
+// diagnostics against the package's want comments.
+func testAnalyzer(t *testing.T, name string, analyzers ...*Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg := loadTestdata(t, dir)
+	diags, err := Run(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("run over %s: %v", dir, err)
+	}
+	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		key := posKey(d.File, d.Line)
+		got := d.Analyzer + ": " + d.Message
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(got) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, got)
+		}
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched want %q", w.pos, w.re.String())
+			}
+		}
+	}
+}
+
+func TestMapOrder(t *testing.T) { testAnalyzer(t, "maporder", MapOrder) }
+func TestHotAlloc(t *testing.T) { testAnalyzer(t, "hotalloc", HotAlloc) }
+func TestFloatSum(t *testing.T) { testAnalyzer(t, "floatsum", FloatSum) }
+func TestNoDeterm(t *testing.T) { testAnalyzer(t, "nodeterm", NoDeterm) }
+func TestPackFreezeMissingAnchors(t *testing.T) {
+	testAnalyzer(t, "packfreeze_missing", PackFreeze)
+}
+func TestPackFreezeHashInsideFrozen(t *testing.T) {
+	testAnalyzer(t, "packfreeze_inside", PackFreeze)
+}
+
+// TestNoDetermUnguarded checks that a package with neither a guarded
+// import-path suffix nor a //mira:deterministic directive is left
+// alone, whatever it calls.
+func TestNoDetermUnguarded(t *testing.T) {
+	diags := runOn(t, filepath.Join("testdata", "src", "unguarded"), NoDeterm)
+	for _, d := range diags {
+		t.Errorf("unguarded package flagged: %s", d)
+	}
+}
+
+// TestSuppression pins the //lint:ignore mechanics end to end: a
+// reasoned ignore naming the right analyzer silences the diagnostic
+// (same line or line above), a reason-less ignore is itself reported
+// and suppresses nothing, and an ignore naming a different analyzer
+// does not cover the diagnostic.
+func TestSuppression(t *testing.T) {
+	diags := runOn(t, filepath.Join("testdata", "src", "suppress"), MapOrder)
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer)
+	}
+	// One malformed-ignore report, plus the two maporder diagnostics the
+	// bad ignores failed to cover; the two well-formed ignores suppress
+	// theirs.
+	wantAnalyzers := []string{"lint", "maporder", "maporder"}
+	if len(got) != len(wantAnalyzers) {
+		t.Fatalf("got %d diagnostics %v, want analyzers %v:\n%s",
+			len(got), got, wantAnalyzers, diagString(diags))
+	}
+	counts := map[string]int{}
+	for _, a := range got {
+		counts[a]++
+	}
+	if counts["lint"] != 1 || counts["maporder"] != 2 {
+		t.Fatalf("got analyzers %v, want one lint + two maporder:\n%s", got, diagString(diags))
+	}
+	for _, d := range diags {
+		if d.Analyzer == "lint" && !strings.Contains(d.Message, "malformed //lint:ignore") {
+			t.Errorf("malformed-ignore diagnostic has unexpected message: %s", d.Message)
+		}
+	}
+}
+
+func diagString(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}

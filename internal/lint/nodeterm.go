@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoDeterm bans ambient nondeterminism — wall clocks, the global
+// math/rand state, and environment reads — inside the deterministic
+// analysis packages. Everything those packages compute must be a pure
+// function of their inputs (corpus + seed + config), or the
+// serial≡parallel equivalence and regenerate-and-compare guarantees
+// silently stop meaning anything. Clocks and randomness are injected
+// instead: *rand.Rand parameters seeded from Config.Seed, timestamps
+// carried by the corpus.
+//
+// Guarded packages are the built-in deterministic set (see
+// deterministicPaths) plus any package containing a
+// `//mira:deterministic` directive comment.
+var NoDeterm = &Analyzer{
+	Name: "nodeterm",
+	Doc: "bans time.Now, global math/rand, and os.Getenv in deterministic analysis " +
+		"packages; inject seeds, clocks, and config instead",
+	Run: runNoDeterm,
+}
+
+// deterministicPaths are the import-path suffixes of the packages whose
+// outputs must be pure functions of corpus + seed + config.
+var deterministicPaths = []string{
+	"internal/core",
+	"internal/experiments",
+	"internal/report",
+	"internal/sim",
+	"internal/pack",
+	"internal/dist",
+	"internal/stats",
+	"internal/sched",
+	"internal/fastcsv",
+	"internal/raslog",
+	"internal/joblog",
+	"internal/tasklog",
+	"internal/iolog",
+	"internal/machine",
+}
+
+const deterministicDirective = "//mira:deterministic"
+
+func runNoDeterm(pass *Pass) error {
+	if !deterministicPackage(pass) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			// Only package-level functions: methods on injected values
+			// (e.g. (*rand.Rand).Float64) are exactly the sanctioned
+			// alternative.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			if msg := nondeterministicFunc(fn); msg != "" {
+				pass.Reportf(sel.Pos(), "%s", msg)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func deterministicPackage(pass *Pass) bool {
+	for _, suffix := range deterministicPaths {
+		if strings.HasSuffix(pass.Path, suffix) {
+			return true
+		}
+	}
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, deterministicDirective) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// nondeterministicFunc returns the diagnostic for a banned function, or
+// "" when the function is allowed.
+func nondeterministicFunc(fn *types.Func) string {
+	path, name := fn.Pkg().Path(), fn.Name()
+	switch path {
+	case "time":
+		switch name {
+		case "Now", "Since", "Until":
+			return "time." + name + " in a deterministic package: take the reference time as a parameter (the corpus carries its own timestamps)"
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors (New, NewSource, NewZipf, NewPCG, ...) build the
+		// injected generators the packages are supposed to use; every
+		// other package-level function draws from ambient global state.
+		if !strings.HasPrefix(name, "New") {
+			return path + "." + name + " draws from the global generator: accept a *rand.Rand seeded from the configuration instead"
+		}
+	case "os":
+		switch name {
+		case "Getenv", "LookupEnv", "Environ", "ExpandEnv":
+			return "os." + name + " in a deterministic package: thread the setting through explicit configuration"
+		}
+	}
+	return ""
+}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestPackFreezeStaleHash(t *testing.T) { testAnalyzer(t, "packfreeze", PackFreeze) }
+
+// computedHashRe extracts the computed layout hash a mismatch
+// diagnostic carries for copy-paste recording.
+var computedHashRe = regexp.MustCompile(`hash to sha256:([0-9a-f]{64})`)
+
+const zeroHash = "0000000000000000000000000000000000000000000000000000000000000000"
+
+// copyReplacing copies the non-test Go files of src into a fresh temp
+// directory with old replaced by new — the harness's way of "editing" a
+// frozen package between analyzer runs. A non-empty only list restricts
+// the copy to those file names (for packages with build-constrained
+// files).
+func copyReplacing(t *testing.T, src, old, new string, only ...string) string {
+	t.Helper()
+	keep := map[string]bool{}
+	for _, name := range only {
+		keep[name] = true
+	}
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if len(keep) > 0 && !keep[name] {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := strings.ReplaceAll(string(data), old, new)
+		if err := os.WriteFile(filepath.Join(dst, name), []byte(out), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// mustOneDiag asserts exactly one diagnostic containing substr and
+// returns it.
+func mustOneDiag(t *testing.T, diags []Diagnostic, substr string) Diagnostic {
+	t.Helper()
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly one containing %q:\n%s", len(diags), substr, diagString(diags))
+	}
+	if !strings.Contains(diags[0].Message, substr) {
+		t.Fatalf("diagnostic %q does not contain %q", diags[0].Message, substr)
+	}
+	return diags[0]
+}
+
+// TestPackFreezeLifecycle walks the full freeze protocol: a stale hash
+// is reported with the computed hash in the message; recording that
+// hash makes the package clean; editing a frozen declaration trips the
+// freeze again; re-recording the hash without a version bump still
+// fails once the version is pinned; and bumping the version is the
+// sanctioned way out.
+func TestPackFreezeLifecycle(t *testing.T) {
+	src := filepath.Join("testdata", "src", "packfreeze")
+
+	d := mustOneDiag(t, runOn(t, src, PackFreeze), "frozen layout changed")
+	m := computedHashRe.FindStringSubmatch(d.Message)
+	if m == nil {
+		t.Fatalf("mismatch diagnostic carries no computed hash: %s", d.Message)
+	}
+	hash1 := m[1]
+
+	// Recording the computed hash makes the package clean.
+	clean := copyReplacing(t, src, zeroHash, hash1)
+	if diags := runOn(t, clean, PackFreeze); len(diags) != 0 {
+		t.Fatalf("package with recorded hash still flagged:\n%s", diagString(diags))
+	}
+
+	// Editing a frozen declaration trips the freeze again.
+	broken := copyReplacing(t, clean, `"MINIPACK"`, `"MAXIPACK"`)
+	d = mustOneDiag(t, runOn(t, broken, PackFreeze), "frozen layout changed")
+	hash2 := computedHashRe.FindStringSubmatch(d.Message)[1]
+	if hash2 == hash1 {
+		t.Fatal("editing a frozen declaration did not change the computed hash")
+	}
+
+	// Updating the hash constant without bumping Version is caught by
+	// the analyzer-side pin.
+	rerecorded := copyReplacing(t, broken, hash1, hash2)
+	frozenPins["packfreeze"] = map[int64]string{1: hash1}
+	defer delete(frozenPins, "packfreeze")
+	mustOneDiag(t, runOn(t, rerecorded, PackFreeze), "version 1 is frozen")
+
+	// Bumping the version alongside the new hash is the sanctioned path.
+	bumped := copyReplacing(t, rerecorded, "Version = 1", "Version = 2")
+	if diags := runOn(t, bumped, PackFreeze); len(diags) != 0 {
+		t.Fatalf("version bump with recorded hash still flagged:\n%s", diagString(diags))
+	}
+}
+
+// TestPackFreezeGuardsMirapackV1 is the acceptance scenario from the
+// real tree: editing a mirapack layout constant without a version bump
+// must fail the lint run.
+func TestPackFreezeGuardsMirapackV1(t *testing.T) {
+	root := moduleRoot(t)
+	src := filepath.Join(root, "internal", "pack")
+	// Copy only the files the go tool selects for this platform: the
+	// package has build-constrained variants of its snapshot reader.
+	listed, err := goList(root, []string{"./internal/pack"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var goFiles []string
+	for _, p := range listed {
+		if !p.DepOnly {
+			goFiles = p.GoFiles
+		}
+	}
+	if len(goFiles) == 0 {
+		t.Fatal("go list returned no files for ./internal/pack")
+	}
+	broken := copyReplacing(t, src, `"MIRAPACK"`, `"MIRAQACK"`, goFiles...)
+	pkg, err := LoadDir(root, broken)
+	if err != nil {
+		t.Fatalf("load edited pack copy: %v", err)
+	}
+	diags, err := Run(pkg, []*Analyzer{PackFreeze})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustOneDiag(t, diags, "frozen layout changed")
+}
+
+// TestTreeClean runs every analyzer over the whole module: the tree
+// must stay lint-clean, and any suppression in it must stay well
+// formed. This is `cmd/miralint ./...` as a test.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tree lint: run by cmd/miralint in CI and by the non-short suite")
+	}
+	pkgs, err := Load(moduleRoot(t), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := Run(pkg, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Package floatsum exercises the floatsum analyzer against the real
+// par worker pool: captured and package-level float accumulators in
+// the parallel region are flagged, the indexed-slot discipline passes.
+package floatsum
+
+import (
+	"context"
+
+	"repro/internal/par"
+)
+
+var grandTotal float64
+
+// sharedAccumulator races goroutines on a captured float: the reduction
+// order depends on scheduling.
+func sharedAccumulator(xs []float64) float64 {
+	total := 0.0
+	_ = par.ForEach(context.Background(), len(xs), 0, func(i int) error {
+		total += xs[i] // want "floatsum: parallel callback accumulates into total"
+		return nil
+	})
+	return total
+}
+
+// slotDiscipline is the sanctioned pattern: each task writes only its
+// own indexed slot, and the reduction happens serially afterwards.
+func slotDiscipline(xs []float64) float64 {
+	out := make([]float64, len(xs))
+	_ = par.ForEach(context.Background(), len(xs), 0, func(i int) error {
+		out[i] = xs[i] * 2
+		out[i] += 1
+		return nil
+	})
+	total := 0.0
+	for _, v := range out {
+		total += v
+	}
+	return total
+}
+
+// viaHelper reaches the hazard through a same-package call: the helper
+// accumulates into a package-level variable.
+func viaHelper(xs []float64) {
+	_ = par.ForEach(context.Background(), len(xs), 0, func(i int) error {
+		bump(xs[i])
+		return nil
+	})
+}
+
+func bump(v float64) {
+	grandTotal += v // want "floatsum: bump accumulates into package-level grandTotal"
+}
+
+// viaCleanHelper calls a helper whose accumulation is purely local.
+func viaCleanHelper(xs, out []float64) {
+	_ = par.ForEach(context.Background(), len(xs), 0, func(i int) error {
+		out[i] = double(xs[i])
+		return nil
+	})
+}
+
+func double(v float64) float64 {
+	s := 0.0
+	s += v
+	s += v
+	return s
+}
+
+// named is passed by name rather than as a literal; reachability covers
+// it the same way.
+func runNamed(n int) {
+	_ = par.ForEach(context.Background(), n, 0, named)
+}
+
+func named(i int) error {
+	grandTotal += 1 // want "floatsum: named accumulates into package-level grandTotal"
+	return nil
+}
+
+// intCounter captures an int: a data race, but not a float ordering
+// hazard, so floatsum leaves it to the race detector.
+func intCounter(xs []int) int {
+	n := 0
+	_ = par.ForEach(context.Background(), len(xs), 0, func(i int) error {
+		n += xs[i]
+		return nil
+	})
+	return n
+}
+
+// serialSum never enters a parallel region; accumulating into a global
+// here is outside floatsum's remit.
+func serialSum(xs []float64) {
+	for _, v := range xs {
+		grandTotal += v
+	}
+}

@@ -1,0 +1,161 @@
+// Package hotalloc exercises the hotalloc analyzer: each allocating
+// construct class inside a //mira:hotpath function, its sanctioned
+// counterpart, and the exemption for unannotated functions.
+package hotalloc
+
+import (
+	"fmt"
+	"strconv"
+)
+
+func consume(v any) { _ = v }
+
+// fmt formatting calls.
+//
+//mira:hotpath
+func formatted(id int64) string {
+	return fmt.Sprintf("job-%d", id) // want "hotalloc: fmt.Sprintf allocates its result"
+}
+
+// The allocation-free alternative: strconv.Append* into a caller
+// buffer.
+//
+//mira:hotpath
+func formattedFast(dst []byte, id int64) []byte {
+	return strconv.AppendInt(dst, id, 10)
+}
+
+// string↔[]byte conversions, flagged except in the contexts the
+// compiler compiles without a copy.
+//
+//mira:hotpath
+func conversions(b []byte, s string, m map[string]int) int {
+	k := string(b) // want "hotalloc: string\(\[\]byte\) conversion copies the bytes"
+	_ = k
+	raw := []byte(s) // want "hotalloc: \[\]byte\(string\) conversion copies the string"
+	_ = raw
+	n := m[string(b)]   // exempt: map index
+	if string(b) == s { // exempt: comparison operand
+		n++
+	}
+	switch string(b) { // exempt: switch tag
+	case s:
+		n++
+	}
+	for range string(b) { // exempt: range expression
+		n++
+	}
+	return n + len(string(b)) // exempt: len argument
+}
+
+// append growing a capacity-less local reallocates on the way up.
+//
+//mira:hotpath
+func appendGrowth(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want "hotalloc: append grows out from zero capacity"
+	}
+	return out
+}
+
+// Pre-sizing the destination is the sanctioned form.
+//
+//mira:hotpath
+func appendPresized(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Appending into a caller-owned buffer is the reuse idiom and passes.
+//
+//mira:hotpath
+func appendReuse(dst []int, x int) []int {
+	return append(dst, x)
+}
+
+// A capturing closure handed to another function escapes and
+// heap-allocates.
+//
+//mira:hotpath
+func closureEscapes(register func(func() int)) {
+	n := 0
+	register(func() int { // want "hotalloc: closure capturing n escapes"
+		n++
+		return n
+	})
+}
+
+// Immediately-invoked literals never escape.
+//
+//mira:hotpath
+func closureInvoked() int {
+	n := 1
+	return func() int { return n * 2 }()
+}
+
+// A capturing literal bound to a local that is only ever called stays
+// on the stack.
+//
+//mira:hotpath
+func closureLocal(xs []int) int {
+	limit := 10
+	clamp := func(v int) int {
+		if v > limit {
+			return limit
+		}
+		return v
+	}
+	total := 0
+	for _, x := range xs {
+		total += clamp(x)
+	}
+	return total
+}
+
+// A capture-free literal is a static value; passing it is free.
+//
+//mira:hotpath
+func closureCapless(register func(func(int) int)) {
+	register(func(v int) int { return v + 1 })
+}
+
+// Interface boxing: concrete non-pointer arguments and results
+// allocate their box; pointers, nil, and interfaces pass through.
+//
+//mira:hotpath
+func boxesArg(n int, p *int, v any) {
+	consume(n) // want "hotalloc: passing int as .* boxes it"
+	consume(p)
+	consume(nil)
+	consume(v)
+}
+
+//mira:hotpath
+func boxesReturn(n int) any {
+	return n // want "hotalloc: returning int as .* boxes it"
+}
+
+//mira:hotpath
+func returnsPointer(n *int) any {
+	return n
+}
+
+// coldPath has no //mira:hotpath directive: the same constructs pass
+// unexamined.
+func coldPath(b []byte) string {
+	var out []byte
+	out = append(out, b...)
+	return fmt.Sprintf("%s", string(out))
+}
+
+// suppressedConversion documents a deliberate exception in place.
+//
+//mira:hotpath
+func suppressedConversion(b []byte) string {
+	//lint:ignore hotalloc one copy per call is the contract here
+	return string(b)
+}

@@ -1,0 +1,119 @@
+// Package maporder exercises the maporder analyzer: order-dependent
+// effects inside map iteration are flagged, order-insensitive bodies
+// and the collect-then-sort idiom pass.
+package maporder
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "maporder: append to keys inside map iteration"
+	}
+	return keys
+}
+
+// keysSorted is the sanctioned collect-then-sort idiom.
+func keysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// keysHelperSorted sorts through a package-local helper whose name
+// marks it as a sorting function.
+func keysHelperSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+func sortKeys(keys []string) { sort.Strings(keys) }
+
+func sumCompound(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "maporder: floating-point accumulation into sum"
+	}
+	return sum
+}
+
+func sumExplicit(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum = sum + v // want "maporder: floating-point accumulation into sum"
+	}
+	return sum
+}
+
+// countInts is order-insensitive: integer addition commutes exactly.
+func countInts(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func printAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "maporder: fmt.Println inside map iteration"
+	}
+}
+
+func buffered(m map[string]int) string {
+	var buf bytes.Buffer
+	for k := range m {
+		buf.WriteString(k) // want "maporder: buf.WriteString inside map iteration"
+	}
+	return buf.String()
+}
+
+func send(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "maporder: send on ch inside map iteration"
+	}
+}
+
+// invert builds another map: insertion order is irrelevant.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// inCase ranges inside a switch case; the sort that follows in the
+// case body still counts as collect-then-sort.
+func inCase(mode int, m map[string]int) []string {
+	var keys []string
+	switch mode {
+	case 0:
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+	}
+	return keys
+}
+
+// sliceRange is not a map range; nothing here is flagged.
+func sliceRange(xs []float64, ch chan float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+		ch <- v
+	}
+	return sum
+}

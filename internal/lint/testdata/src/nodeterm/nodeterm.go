@@ -1,0 +1,50 @@
+// Package nodeterm exercises the nodeterm analyzer. Its import path
+// does not match the built-in deterministic set, so it opts in with the
+// directive below.
+//
+//mira:deterministic
+package nodeterm
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func clock() time.Duration {
+	t := time.Now()      // want "nodeterm: time.Now in a deterministic package"
+	return time.Since(t) // want "nodeterm: time.Since in a deterministic package"
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want "nodeterm: time.Until in a deterministic package"
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want "nodeterm: math/rand.Intn draws from the global generator"
+}
+
+// injected is the sanctioned pattern: a constructor builds a generator
+// seeded from configuration, and methods on it are free.
+func injected(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func env() string {
+	home := os.Getenv("HOME")              // want "nodeterm: os.Getenv in a deterministic package"
+	if v, ok := os.LookupEnv("MIRA"); ok { // want "nodeterm: os.LookupEnv in a deterministic package"
+		return v
+	}
+	return home
+}
+
+// fileIO is deterministic given its inputs; os is only banned for
+// environment reads.
+func fileIO(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,29 @@
+// Package packfreeze is a miniature layout-bearing package. The
+// declared hash below is a deliberately stale placeholder: the analyzer
+// must report the mismatch and carry the real computed hash in the
+// message (TestPackFreezeLifecycle extracts it, records it, and then
+// re-breaks the layout to watch the freeze trip again).
+package packfreeze
+
+// Version is the layout version.
+const Version = 1
+
+// LayoutHash is stale on purpose.
+const LayoutHash = "sha256:0000000000000000000000000000000000000000000000000000000000000000" // want "packfreeze: frozen layout changed: LayoutHash records sha256:0+ but the //mira:frozen declarations hash to sha256:[0-9a-f]{64}"
+
+// Wire constants.
+//
+//mira:frozen
+const (
+	wireMagic  = "MINIPACK"
+	headerSize = 12
+)
+
+// appendHeader writes the fixed header: magic then little-endian count.
+//
+//mira:frozen
+func appendHeader(dst []byte, n uint32) []byte {
+	dst = append(dst, wireMagic...)
+	dst = append(dst, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	return dst
+}

@@ -1,0 +1,14 @@
+// Package inside places the layout-hash constant inside a frozen
+// declaration — recording a new hash would then change the very layout
+// it records, so the analyzer rejects the arrangement outright.
+package inside
+
+// Version is the layout version.
+const Version = 1
+
+//mira:frozen
+const (
+	wireMagic = "MINI"
+	// LayoutHash must live outside the frozen set.
+	LayoutHash = "sha256:0000000000000000000000000000000000000000000000000000000000000000" // want "packfreeze: layout-hash constant LayoutHash is itself inside a //mira:frozen declaration"
+)

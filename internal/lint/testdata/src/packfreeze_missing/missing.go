@@ -1,0 +1,9 @@
+// Package missing freezes a declaration but declares neither a Version
+// nor a LayoutHash constant, so the analyzer reports the missing
+// anchors at the first frozen declaration.
+package missing
+
+//mira:frozen
+const ( // want "packfreeze: package missing has //mira:frozen declarations but no Version or LayoutHash constant"
+	wireMagic = "MINI"
+)

@@ -1,0 +1,42 @@
+// Package suppress exercises the //lint:ignore mechanism itself; its
+// expectations are asserted programmatically in TestSuppression rather
+// than with want comments (a malformed ignore cannot share its line
+// with one).
+package suppress
+
+import "fmt"
+
+// lineAbove is properly suppressed by a reasoned ignore on the line
+// directly above the diagnostic.
+func lineAbove(m map[string]int) {
+	for k := range m {
+		//lint:ignore maporder demo of a reasoned suppression
+		fmt.Println(k)
+	}
+}
+
+// sameLine is properly suppressed by a trailing ignore on the
+// diagnostic's own line.
+func sameLine(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) //lint:ignore maporder demo of a same-line suppression
+	}
+}
+
+// missingReason carries a reason-less ignore: the ignore is reported as
+// malformed and the diagnostic it meant to cover survives.
+func missingReason(m map[string]int) {
+	for k := range m {
+		//lint:ignore maporder
+		fmt.Println(k)
+	}
+}
+
+// wrongAnalyzer names an analyzer that did not produce the diagnostic,
+// so the diagnostic survives.
+func wrongAnalyzer(m map[string]int) {
+	for k := range m {
+		//lint:ignore hotalloc reasoned, but names the wrong analyzer
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,14 @@
+// Package unguarded has no //mira:deterministic directive and an
+// import path outside the guarded set, so nodeterm must report nothing
+// here despite every banned call appearing.
+package unguarded
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func ambient() (time.Time, int, string) {
+	return time.Now(), rand.Intn(6), os.Getenv("HOME")
+}

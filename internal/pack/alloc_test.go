@@ -1,0 +1,81 @@
+package pack
+
+// Allocation pins for the //mira:hotpath column decoders: every *Into
+// primitive decodes into caller-owned scratch, so the per-value loops
+// of a snapshot load allocate nothing. The hotalloc analyzer
+// (internal/lint) enforces this statically; this test pins it
+// dynamically against the real encoder output.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDecodeCoresAllocFree(t *testing.T) {
+	const n = 4096
+	const tableN = 1000
+	const bound = int64(1) << 19
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]int64, n)
+	sorted := make([]int64, n)
+	ints := make([]int, n)
+	bounded := make([]int64, n)
+	indexes := make([]uint64, n)
+	prev := int64(0)
+	for i := range vals {
+		vals[i] = rng.Int63n(1<<40) - (1 << 39)
+		prev += rng.Int63n(4096)
+		sorted[i] = prev
+		ints[i] = i * 3
+		bounded[i] = rng.Int63n(bound)
+		indexes[i] = uint64(rng.Intn(tableN))
+	}
+	var w sectionWriter
+	w.varints(vals)
+	w.deltaInt64s(sorted)
+	w.rawInt64s(vals)
+	w.deltaInts(ints)
+	w.varints(bounded)
+	for _, id := range indexes {
+		w.uvarint(id) // dictIndexesInto stream
+	}
+	for _, id := range indexes {
+		w.uvarint(id) // dictIndexes32Into stream
+	}
+	w.uvarint(42)
+	w.varint(-17)
+	payload := w.buf
+
+	dst64 := make([]int64, n)
+	dst32 := make([]int32, n)
+	dstInt := make([]int, n)
+	decodeAll := func() {
+		r := sectionReader{name: "alloc-test", b: payload}
+		r.varintsInto(dst64)
+		r.deltasInto(dst64)
+		r.raw64sInto(dst64)
+		r.deltaInts(dstInt)
+		r.varints32Into(dst32, bound, "bounded value")
+		r.dictIndexesInto(dst64, tableN)
+		r.dictIndexes32Into(dst32, tableN)
+		if got := r.uv(); got != 42 {
+			t.Fatalf("uv decoded %d, want 42", got)
+		}
+		if got := r.v(); got != -17 {
+			t.Fatalf("v decoded %d, want -17", got)
+		}
+		if err := r.done(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Correctness first: the final columns decoded must match the input.
+	decodeAll()
+	for i := range indexes {
+		if dst64[i] != int64(indexes[i]) || dst32[i] != int32(indexes[i]) {
+			t.Fatalf("dictionary index %d decoded as %d/%d, want %d", i, dst64[i], dst32[i], indexes[i])
+		}
+	}
+	if n := testing.AllocsPerRun(10, decodeAll); n != 0 {
+		t.Errorf("hot decode cores allocate %v per section pass, want 0", n)
+	}
+}

@@ -43,6 +43,8 @@ func (r *sectionReader) fail(format string, args ...any) {
 }
 
 // uv decodes one uvarint.
+//
+//mira:hotpath
 func (r *sectionReader) uv() uint64 {
 	if i := r.off; i < len(r.b) && r.b[i] < 0x80 {
 		r.off = i + 1
@@ -65,6 +67,8 @@ func (r *sectionReader) uvSlow() uint64 {
 }
 
 // v decodes one zigzag varint.
+//
+//mira:hotpath
 func (r *sectionReader) v() int64 {
 	ux := r.uv()
 	return int64(ux>>1) ^ -int64(ux&1)
@@ -85,6 +89,8 @@ func (r *sectionReader) count(what string) int {
 }
 
 // varintsInto decodes len(dst) zigzag varints into dst.
+//
+//mira:hotpath
 func (r *sectionReader) varintsInto(dst []int64) {
 	b, off := r.b, r.off
 	for i := range dst {
@@ -115,6 +121,8 @@ func (r *sectionReader) varintsInto(dst []int64) {
 
 // deltasInto decodes len(dst) delta-encoded values into dst, resolving the
 // running sums.
+//
+//mira:hotpath
 func (r *sectionReader) deltasInto(dst []int64) {
 	b, off := r.b, r.off
 	prev := int64(0)
@@ -146,8 +154,11 @@ func (r *sectionReader) deltasInto(dst []int64) {
 }
 
 // raw64sInto decodes len(dst) raw little-endian int64s into dst.
+//
+//mira:hotpath
 func (r *sectionReader) raw64sInto(dst []int64) {
 	if r.remaining() < 8*len(dst) {
+		//lint:ignore hotalloc cold corrupt-input path; boxing happens only when the decode already failed
 		r.fail("raw column needs %d bytes, %d remain", 8*len(dst), r.remaining())
 		return
 	}
@@ -159,6 +170,8 @@ func (r *sectionReader) raw64sInto(dst []int64) {
 }
 
 // deltaInts decodes len(dst) delta-encoded values into dst.
+//
+//mira:hotpath
 func (r *sectionReader) deltaInts(dst []int) {
 	prev := 0
 	for i := range dst {
@@ -187,6 +200,8 @@ func (r *sectionReader) dictTable() []string {
 // dictIndexesInto decodes len(dst) dictionary row indexes into dst, each
 // bounds-checked against a table of n entries. Callers must not use dst to
 // index the table if r.err is set afterwards.
+//
+//mira:hotpath
 func (r *sectionReader) dictIndexesInto(dst []int64, n int) {
 	b, off := r.b, r.off
 	for i := range dst {
@@ -209,6 +224,7 @@ func (r *sectionReader) dictIndexesInto(dst []int64, n int) {
 		}
 		if ux >= uint64(n) {
 			r.off = off
+			//lint:ignore hotalloc cold corrupt-input path; boxing happens only when the decode already failed
 			r.fail("dictionary index %d out of range [0,%d)", ux, n)
 			return
 		}
@@ -223,6 +239,8 @@ func (r *sectionReader) dictIndexesInto(dst []int64, n int) {
 // decode through this into int32 scratch: half the scratch bytes of an
 // int64 column, which matters because scratch zeroing and cache traffic
 // are a large share of a snapshot load.
+//
+//mira:hotpath
 func (r *sectionReader) varints32Into(dst []int32, bound int64, what string) {
 	b, off := r.b, r.off
 	for i := range dst {
@@ -249,6 +267,7 @@ func (r *sectionReader) varints32Into(dst []int32, bound int64, what string) {
 		v := int64(ux>>1) ^ -int64(ux&1)
 		if v < 0 || v >= bound {
 			r.off = off
+			//lint:ignore hotalloc cold corrupt-input path; boxing happens only when the decode already failed
 			r.fail("%s %d out of range [0,%d)", what, v, bound)
 			return
 		}
@@ -258,6 +277,8 @@ func (r *sectionReader) varints32Into(dst []int32, bound int64, what string) {
 }
 
 // dictIndexes32Into is dictIndexesInto with int32 scratch.
+//
+//mira:hotpath
 func (r *sectionReader) dictIndexes32Into(dst []int32, n int) {
 	b, off := r.b, r.off
 	for i := range dst {
@@ -280,6 +301,7 @@ func (r *sectionReader) dictIndexes32Into(dst []int32, n int) {
 		}
 		if ux >= uint64(n) {
 			r.off = off
+			//lint:ignore hotalloc cold corrupt-input path; boxing happens only when the decode already failed
 			r.fail("dictionary index %d out of range [0,%d)", ux, n)
 			return
 		}

@@ -7,16 +7,23 @@ import "encoding/binary"
 // streams (record ids, timestamps), plain zigzag varint for small integers,
 // raw little-endian int64 for wide numerics, plus first-appearance-order
 // dictionaries for low-cardinality string columns.
+//
+//mira:frozen
 type sectionWriter struct {
 	buf []byte
 }
 
+//mira:frozen
 func (w *sectionWriter) uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
-func (w *sectionWriter) varint(v int64)   { w.buf = binary.AppendVarint(w.buf, v) }
+
+//mira:frozen
+func (w *sectionWriter) varint(v int64) { w.buf = binary.AppendVarint(w.buf, v) }
 
 // deltaInt64s encodes vals as zigzag varints of consecutive differences.
 // For sorted columns the deltas are small and non-negative, so most values
 // take one or two bytes; unsorted columns still round-trip, just larger.
+//
+//mira:frozen
 func (w *sectionWriter) deltaInt64s(vals []int64) {
 	prev := int64(0)
 	for _, v := range vals {
@@ -26,6 +33,8 @@ func (w *sectionWriter) deltaInt64s(vals []int64) {
 }
 
 // varints encodes vals as independent zigzag varints.
+//
+//mira:frozen
 func (w *sectionWriter) varints(vals []int64) {
 	for _, v := range vals {
 		w.varint(v)
@@ -34,6 +43,8 @@ func (w *sectionWriter) varints(vals []int64) {
 
 // rawInt64s encodes vals as fixed-width little-endian int64s — for wide
 // numerics (byte counters, nanosecond durations) where varints save little.
+//
+//mira:frozen
 func (w *sectionWriter) rawInt64s(vals []int64) {
 	for _, v := range vals {
 		w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(v))
@@ -41,6 +52,8 @@ func (w *sectionWriter) rawInt64s(vals []int64) {
 }
 
 // deltaInts is deltaInt64s for index slices.
+//
+//mira:frozen
 func (w *sectionWriter) deltaInts(vals []int) {
 	prev := 0
 	for _, v := range vals {
@@ -52,6 +65,8 @@ func (w *sectionWriter) deltaInts(vals []int) {
 // dict encodes a string column as a first-appearance-order dictionary
 // (uvarint count, then len-prefixed entries) followed by one uvarint
 // dictionary index per row.
+//
+//mira:frozen
 func (w *sectionWriter) dict(vals []string) {
 	index := make(map[string]uint64, 64)
 	var entries []string

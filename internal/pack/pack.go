@@ -51,6 +51,8 @@ import (
 )
 
 // Format identity.
+//
+//mira:frozen
 const (
 	magic = "MIRAPACK"
 	// Version is the current format version. Readers reject any other
@@ -58,12 +60,24 @@ const (
 	// versions, and a version bump is the only sanctioned way to change
 	// the layout (see DESIGN.md §10).
 	Version = 1
-	// SnapshotName is the conventional snapshot filename inside a corpus
-	// directory, next to the four CSVs.
-	SnapshotName = "corpus.mirapack"
 )
 
+// LayoutHash records the sha256 over the printed form of every
+// //mira:frozen declaration in this package — the section table shape,
+// the section order, and the column encodings. The packfreeze analyzer
+// (internal/lint) recomputes the hash on every lint run: editing any
+// frozen declaration without bumping Version and re-recording the hash
+// fails `miralint`, and version 1 is additionally pinned inside the
+// analyzer itself, so v1's layout can never change at all.
+const LayoutHash = "sha256:aaf2950ff3e793569a519303e354cd93f506af29985381b624f8450147884191"
+
+// SnapshotName is the conventional snapshot filename inside a corpus
+// directory, next to the four CSVs.
+const SnapshotName = "corpus.mirapack"
+
 // Section ids.
+//
+//mira:frozen
 const (
 	secJobs uint32 = iota + 1
 	secTasks
@@ -80,13 +94,17 @@ var sectionNames = map[uint32]string{
 	secIndexes: "indexes",
 }
 
+//mira:frozen
 const (
 	headerSize       = 8 + 4 + 4
 	sectionEntrySize = 4 + 4 + 8 + 8
 )
 
 // Marshal serializes the dataset — logs and derived indexes — into a
-// snapshot byte image.
+// snapshot byte image. The section table it writes (ids, checksums,
+// offsets) and the section order are part of the frozen v1 layout.
+//
+//mira:frozen
 func Marshal(d *core.Dataset) []byte {
 	sections := []struct {
 		id      uint32

@@ -53,6 +53,7 @@ var epoch = time.Unix(0, 0).UTC()
 
 func unixTime(sec int64) time.Time { return epoch.Add(time.Duration(sec) * time.Second) }
 
+//mira:frozen
 func encodeJobs(jobs []joblog.Job) []byte {
 	c := joblog.ToColumns(jobs)
 	w := &sectionWriter{}
@@ -72,6 +73,7 @@ func encodeJobs(jobs []joblog.Job) []byte {
 	return w.buf
 }
 
+//mira:hotpath
 func decodeJobs(payload []byte, a *arena) ([]joblog.Job, error) {
 	r := &sectionReader{name: "jobs", b: payload}
 	n := r.count("row")
@@ -121,6 +123,7 @@ func decodeJobs(payload []byte, a *arena) ([]joblog.Job, error) {
 	return jobs, nil
 }
 
+//mira:frozen
 func encodeTasks(tasks []tasklog.Task) []byte {
 	c := tasklog.ToColumns(tasks)
 	w := &sectionWriter{}
@@ -135,6 +138,7 @@ func encodeTasks(tasks []tasklog.Task) []byte {
 	return w.buf
 }
 
+//mira:hotpath
 func decodeTasks(payload []byte, a *arena) ([]tasklog.Task, error) {
 	r := &sectionReader{name: "tasks", b: payload}
 	n := r.count("row")
@@ -183,6 +187,7 @@ func decodeTasks(payload []byte, a *arena) ([]tasklog.Task, error) {
 	return tasks, nil
 }
 
+//mira:frozen
 func encodeEvents(events []raslog.Event) []byte {
 	c := raslog.ToColumns(events)
 	w := &sectionWriter{}
@@ -200,6 +205,7 @@ func encodeEvents(events []raslog.Event) []byte {
 	return w.buf
 }
 
+//mira:hotpath
 func decodeEvents(payload []byte, a *arena) ([]raslog.Event, error) {
 	r := &sectionReader{name: "events", b: payload}
 	n := r.count("row")
@@ -226,6 +232,7 @@ func decodeEvents(payload []byte, a *arena) ([]raslog.Event, error) {
 	r.varints32Into(sev, int64(raslog.Fatal)+1, "severity")
 	for _, v := range sev {
 		if v < int32(raslog.Info) {
+			//lint:ignore hotalloc cold corrupt-input path; boxing happens only when the decode already failed
 			r.fail("severity %d out of range", v)
 			break
 		}
@@ -272,6 +279,7 @@ func decodeEvents(payload []byte, a *arena) ([]raslog.Event, error) {
 	return events, nil
 }
 
+//mira:frozen
 func encodeIO(records []iolog.Record) []byte {
 	c := iolog.ToColumns(records)
 	w := &sectionWriter{}
@@ -286,6 +294,7 @@ func encodeIO(records []iolog.Record) []byte {
 	return w.buf
 }
 
+//mira:hotpath
 func decodeIO(payload []byte, a *arena) ([]iolog.Record, error) {
 	r := &sectionReader{name: "io", b: payload}
 	n := r.count("row")
@@ -325,6 +334,8 @@ func decodeIO(payload []byte, a *arena) ([]iolog.Record, error) {
 // so the payload is deterministic. The total attributed-event count
 // precedes the per-job lists so the decoder can carve every list out of a
 // single backing allocation.
+//
+//mira:frozen
 func encodeIndexes(snap core.IndexSnapshot) []byte {
 	w := &sectionWriter{}
 	w.uvarint(uint64(len(snap.FatalIdx)))

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# lint.sh — run the repository's static checks exactly as CI does:
+#
+#   1. gofmt -l over the tree (fails on any unformatted file, testdata
+#      included — analyzer fixtures are held to the same standard);
+#   2. go vet;
+#   3. miralint, the invariant-enforcement suite in internal/lint
+#      (determinism, hot-path allocations, mirapack layout freeze);
+#   4. govulncheck, when the tool is installed (CI installs it; offline
+#      checkouts skip it with a notice rather than failing).
+#
+# Usage:
+#   scripts/lint.sh
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "== gofmt"
+unformatted="$(gofmt -l .)"
+if [[ -n "$unformatted" ]]; then
+  echo "gofmt: the following files need formatting:" >&2
+  echo "$unformatted" >&2
+  fail=1
+fi
+
+echo "== go vet"
+go vet ./... || fail=1
+
+echo "== miralint"
+go run ./cmd/miralint ./... || fail=1
+
+echo "== govulncheck"
+if command -v govulncheck >/dev/null 2>&1; then
+  govulncheck ./... || fail=1
+else
+  echo "govulncheck not installed; skipping (CI runs it)"
+fi
+
+exit "$fail"
