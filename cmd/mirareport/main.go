@@ -49,6 +49,7 @@ func run() error {
 	list := flag.Bool("list", false, "list the experiments and exit")
 	csvDir := flag.String("csv", "", "also dump figure/table CSVs into this directory")
 	parallelism := flag.Int("parallelism", 0, "worker bound for corpus generation and the experiment suite (0 = all cores, 1 = serial; results are identical)")
+	legacy := flag.Bool("legacy", false, "disable the fused scan engine and recompute every analysis per experiment (output is byte-identical; for benchmarking and bisection)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -90,6 +91,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	env.Legacy = *legacy
 
 	if *takeaways {
 		return printTakeaways(env.D)

@@ -37,8 +37,14 @@ func (g GroupBy) String() string {
 
 // Aggregate groups jobs by user or project, using the classification for
 // system-failure attribution. Results are sorted by descending job count.
+// Core-hours accumulate as integer core-seconds so the totals match the
+// fused scan engine's sharded sums bit-for-bit.
 func (d *Dataset) Aggregate(by GroupBy, cls *Classification) []GroupStats {
-	m := map[string]*GroupStats{}
+	type accum struct {
+		jobs, failed, sysfails int
+		coreSec                int64
+	}
+	m := map[string]*accum{}
 	for i := range d.Jobs {
 		j := &d.Jobs[i]
 		key := j.User
@@ -47,32 +53,50 @@ func (d *Dataset) Aggregate(by GroupBy, cls *Classification) []GroupStats {
 		}
 		g, ok := m[key]
 		if !ok {
-			g = &GroupStats{Key: key}
+			g = &accum{}
 			m[key] = g
 		}
-		g.Jobs++
-		g.CoreHours += j.CoreHours()
+		g.jobs++
+		g.coreSec += j.CoreSeconds()
 		if j.Outcome() == joblog.OutcomeFailure {
-			g.Failed++
+			g.failed++
 			if cls != nil && cls.Causes[j.ID] == CauseSystem {
-				g.SystemFails++
+				g.sysfails++
 			}
 		}
 	}
 	out := make([]GroupStats, 0, len(m))
-	for _, g := range m {
-		if g.Jobs > 0 {
-			g.FailRate = float64(g.Failed) / float64(g.Jobs)
+	for key, g := range m {
+		gs := GroupStats{
+			Key:         key,
+			Jobs:        g.jobs,
+			Failed:      g.failed,
+			SystemFails: g.sysfails,
+			CoreHours:   float64(g.coreSec) / 3600,
 		}
-		out = append(out, *g)
+		if g.jobs > 0 {
+			gs.FailRate = float64(g.failed) / float64(g.jobs)
+		}
+		out = append(out, gs)
 	}
+	sortGroups(out)
+	return out
+}
+
+// sortGroups orders group aggregates by descending job count, key ascending
+// — the canonical Aggregate order.
+func sortGroups(out []GroupStats) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Jobs != out[j].Jobs {
 			return out[i].Jobs > out[j].Jobs
 		}
 		return out[i].Key < out[j].Key
 	})
-	return out
+}
+
+// sortGroupsByKey orders group aggregates alphabetically by key.
+func sortGroupsByKey(out []GroupStats) {
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 }
 
 // ConcentrationResult quantifies how skewed jobs / failures / core-hours
@@ -101,6 +125,24 @@ type ConcentrationResult struct {
 // grouping.
 func (d *Dataset) Concentration(by GroupBy, cls *Classification) (*ConcentrationResult, error) {
 	groups := d.Aggregate(by, cls)
+	// Categorical per-job columns for Cramér's V.
+	keys := make([]string, len(d.Jobs))
+	outcomes := make([]string, len(d.Jobs))
+	for i := range d.Jobs {
+		if by == ByUser {
+			keys[i] = d.Jobs[i].User
+		} else {
+			keys[i] = d.Jobs[i].Project
+		}
+		outcomes[i] = d.Jobs[i].Outcome().String()
+	}
+	return concentrationFromGroups(by, groups, keys, outcomes)
+}
+
+// concentrationFromGroups computes the concentration/correlation profile
+// from pre-aggregated groups plus the per-job key/outcome columns (aligned
+// with the dataset's job order) that feed the categorical association.
+func concentrationFromGroups(by GroupBy, groups []GroupStats, keys, outcomes []string) (*ConcentrationResult, error) {
 	if len(groups) < 2 {
 		return nil, fmt.Errorf("core: need ≥2 groups, have %d", len(groups))
 	}
@@ -141,16 +183,6 @@ func (d *Dataset) Concentration(by GroupBy, cls *Classification) (*Concentration
 		return nil, err
 	}
 	// Categorical association between the grouping and the outcome.
-	keys := make([]string, len(d.Jobs))
-	outcomes := make([]string, len(d.Jobs))
-	for i := range d.Jobs {
-		if by == ByUser {
-			keys[i] = d.Jobs[i].User
-		} else {
-			keys[i] = d.Jobs[i].Project
-		}
-		outcomes[i] = d.Jobs[i].Outcome().String()
-	}
 	if res.CramersV, err = stats.CramersV(keys, outcomes); err != nil {
 		return nil, err
 	}

@@ -10,11 +10,13 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/iolog"
 	"repro/internal/joblog"
 	"repro/internal/raslog"
+	"repro/internal/scan"
 	"repro/internal/tasklog"
 )
 
@@ -65,6 +67,24 @@ type Dataset struct {
 	fatalIdx []int
 	warnIdx  []int
 	infoN    int // events that are neither FATAL nor WARN
+
+	// SoA column views of the hot job/event columns for the fused scan
+	// engine, built lazily on first use — or adopted straight from mirapack
+	// column decode via AdoptViews, skipping the AoS re-walk. The Once pair
+	// guards each view so concurrent analyses build it exactly once.
+	jobViewOnce   sync.Once
+	jobView       *scan.JobView
+	eventViewOnce sync.Once
+	eventView     *scan.EventView
+
+	// Interned similarity keys of the FATAL/WARN views for the default
+	// filter rule's key configuration, built lazily by the *Cached filter
+	// entry points. Keys are window-independent, so one interning serves
+	// every window an analysis sweeps.
+	fatalKeyOnce sync.Once
+	fatalKeys    internedKeys
+	warnKeyOnce  sync.Once
+	warnKeys     internedKeys
 
 	start, end time.Time
 }
@@ -370,17 +390,22 @@ func (d *Dataset) Summarize() Summary {
 	}
 	users := map[string]bool{}
 	projects := map[string]bool{}
+	// Core-hours accumulate as exact integer core-seconds (see
+	// joblog.Job.CoreSeconds) so the total matches the fused scan engine's
+	// sharded sum bit-for-bit regardless of summation order.
+	var coreSec int64
 	for i := range d.Jobs {
 		j := &d.Jobs[i]
 		users[j.User] = true
 		projects[j.Project] = true
-		s.CoreHours += j.CoreHours()
+		coreSec += j.CoreSeconds()
 		if j.Outcome() == joblog.OutcomeSuccess {
 			s.SuccessJobs++
 		} else {
 			s.FailedJobs++
 		}
 	}
+	s.CoreHours = float64(coreSec) / 3600
 	s.Users = len(users)
 	s.Projects = len(projects)
 	// Severity tallies come straight from the partition indexes; no rescan.

@@ -197,6 +197,131 @@ func (d *Dataset) FilterWarn(rule FilterRule) ([]Incident, error) {
 	return filterIndexed(d.Events, d.warnIdx, rule)
 }
 
+// internedKeys is a severity index's similarity keys interned to dense ids
+// in first-appearance order. Keys depend only on the rule's Spatial and
+// SameMessage settings — not the window — so one interning pass serves
+// every window, and coalescing can track open incidents in a flat array
+// indexed by key id instead of a map keyed by (string, Location) structs.
+type internedKeys struct {
+	ids   []int32 // ids[n] is the key id of events[idx[n]]
+	nKeys int
+}
+
+// internKeys interns the similarity key of every indexed event.
+func internKeys(events []raslog.Event, idx []int, rule FilterRule) internedKeys {
+	seen := make(map[filterKey]int32, 64)
+	ids := make([]int32, len(idx))
+	for n, i := range idx {
+		k := keyOf(&events[i], rule)
+		id, ok := seen[k]
+		if !ok {
+			id = int32(len(seen))
+			seen[k] = id
+		}
+		ids[n] = id
+	}
+	return internedKeys{ids: ids, nKeys: len(seen)}
+}
+
+// defaultKeyConfig reports whether the rule's key-relevant settings match
+// DefaultFilterRule — the configuration the dataset caches interned keys
+// for.
+func defaultKeyConfig(rule FilterRule) bool {
+	def := DefaultFilterRule()
+	return rule.Spatial == def.Spatial && rule.SameMessage == def.SameMessage
+}
+
+// coalesceInterned is coalesce with pre-interned keys: the open-incident
+// table becomes a flat array indexed by key id, and job attributions
+// deduplicate by scanning the incident's (short) JobIDs list. Decisions,
+// append order and output are identical to coalesce — only the bookkeeping
+// representation changes.
+//
+//mira:hotpath
+func coalesceInterned(events []raslog.Event, idx []int, ik internedKeys, window time.Duration) []Incident {
+	// Counting pre-pass: replay just the open/extend decision (key id plus
+	// window check against the last event of the key) to size the incident
+	// slice exactly, so the fill pass never grows or copies it. The zero
+	// time.Time makes the first event of every key read as "gap larger than
+	// any window", i.e. a new incident, matching the map version's miss.
+	lastOf := make([]time.Time, ik.nKeys)
+	count := 0
+	for n, i := range idx {
+		e := &events[i]
+		if e.Time.Sub(lastOf[ik.ids[n]]) > window {
+			count++
+		}
+		lastOf[ik.ids[n]] = e.Time
+	}
+	open := make([]int32, ik.nKeys)
+	for i := range open {
+		open[i] = -1
+	}
+	incidents := make([]Incident, 0, count)
+	for n, i := range idx {
+		e := &events[i]
+		if oi := open[ik.ids[n]]; oi >= 0 && e.Time.Sub(incidents[oi].Last) <= window {
+			in := &incidents[oi]
+			in.Last = e.Time
+			in.Events++
+			if e.JobID != 0 {
+				dup := false
+				for _, id := range in.JobIDs {
+					if id == e.JobID {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					in.JobIDs = append(in.JobIDs, e.JobID)
+				}
+			}
+			continue
+		}
+		incidents = append(incidents, Incident{
+			First: e.Time, Last: e.Time, Events: 1,
+			Loc: e.Loc, MsgID: e.MsgID, Cat: e.Cat,
+		})
+		if e.JobID != 0 {
+			incidents[len(incidents)-1].JobIDs = []int64{e.JobID}
+		}
+		open[ik.ids[n]] = int32(len(incidents) - 1)
+	}
+	return incidents
+}
+
+// FilterFatalCached is FilterFatal through the dataset's interned-key cache:
+// the first call interns the FATAL view's similarity keys (for the default
+// rule's key configuration), later calls — and calls with other windows —
+// only pay the array-indexed coalesce. Output is identical to FilterFatal.
+// Rules with a non-default key configuration fall back to the plain pass.
+func (d *Dataset) FilterFatalCached(rule FilterRule) ([]Incident, error) {
+	if err := rule.Validate(); err != nil {
+		return nil, err
+	}
+	if !defaultKeyConfig(rule) {
+		return d.FilterFatal(rule)
+	}
+	d.fatalKeyOnce.Do(func() {
+		d.fatalKeys = internKeys(d.Events, d.fatalIdx, rule)
+	})
+	return coalesceInterned(d.Events, d.fatalIdx, d.fatalKeys, rule.Window), nil
+}
+
+// FilterWarnCached is the WARN-severity counterpart of FilterFatalCached.
+func (d *Dataset) FilterWarnCached(rule FilterRule) ([]Incident, error) {
+	if err := rule.Validate(); err != nil {
+		return nil, err
+	}
+	if !defaultKeyConfig(rule) {
+		return d.FilterWarn(rule)
+	}
+	d.warnKeyOnce.Do(func() {
+		d.warnKeys = internKeys(d.Events, d.warnIdx, rule)
+	})
+	return coalesceInterned(d.Events, d.warnIdx, d.warnKeys, rule.Window), nil
+}
+
 // SweepPoint is one point of the filtering sensitivity sweep.
 type SweepPoint struct {
 	Window    time.Duration
@@ -219,13 +344,13 @@ func FilterSweep(events []raslog.Event, base FilterRule, windows []time.Duration
 // to the serial path for any worker count.
 //
 // Similarity keys depend on the rule's Spatial/SameMessage settings but not
-// on the window, so the sweep precomputes them once and each window only
-// pays for coalescing: O(events) key work total instead of
-// O(windows × events).
+// on the window, so the sweep interns them once and each window only pays
+// for the array-indexed coalesce: O(events) key work total instead of
+// O(windows × events), and no per-window hash table.
 func FilterSweepParallel(events []raslog.Event, base FilterRule, windows []time.Duration, workers int) ([]SweepPoint, error) {
 	idx := severityIndex(events, raslog.Fatal)
 	raw := len(idx)
-	ke := precomputeKeys(events, idx, base)
+	ik := internKeys(events, idx, base)
 	out := make([]SweepPoint, len(windows))
 	err := par.ForEach(context.Background(), len(windows), workers, func(i int) error {
 		rule := base
@@ -233,7 +358,7 @@ func FilterSweepParallel(events []raslog.Event, base FilterRule, windows []time.
 		if err := rule.Validate(); err != nil {
 			return err
 		}
-		incidents := coalesce(ke, rule.Window)
+		incidents := coalesceInterned(events, idx, ik, rule.Window)
 		p := SweepPoint{Window: windows[i], Incidents: len(incidents)}
 		if raw > 0 {
 			p.Reduction = 1 - float64(len(incidents))/float64(raw)

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/scan"
+)
+
+// FusedProfile is the result of one fused pass over the job and event
+// columns: every whole-corpus aggregate the hot experiments consume. One
+// FusedScan replaces the private full-corpus walks of Summarize,
+// ClassifyByExit/ClassifyJoint tallies, Aggregate (users and projects),
+// Profile, Temporal, Waste, Locality and InterruptsByUser.
+type FusedProfile struct {
+	jv *scan.JobView
+
+	Summary Summary
+	// Exit and Joint are the exit-status-only and RAS-correlated failure
+	// tallies (the totals of ClassifyByExit / ClassifyJoint).
+	Exit  FailTally
+	Joint FailTally
+	// UserGroups / ProjectGroups are the per-key aggregates in Aggregate's
+	// order (jobs descending, key ascending).
+	UserGroups    []GroupStats
+	ProjectGroups []GroupStats
+	Temporal      *TemporalProfile
+	RAS           *CategoryProfile
+	Waste         *WasteResult
+	Interrupts    *InterruptCorrelation
+	InterruptsErr error
+
+	localityMid, localityRack       *LocalityResult
+	localityMidErr, localityRackErr error
+}
+
+// Groups returns the per-user or per-project aggregates.
+func (p *FusedProfile) Groups(by GroupBy) []GroupStats {
+	if by == ByProject {
+		return p.ProjectGroups
+	}
+	return p.UserGroups
+}
+
+// Locality returns the FATAL spatial-concentration result at the level.
+func (p *FusedProfile) Locality(level machine.Level) (*LocalityResult, error) {
+	switch level {
+	case machine.LevelMidplane:
+		return p.localityMid, p.localityMidErr
+	case machine.LevelRack:
+		return p.localityRack, p.localityRackErr
+	default:
+		return nil, fmt.Errorf("core: locality level must be rack or midplane, got %v", level)
+	}
+}
+
+// Concentration computes the concentration/correlation profile for the
+// grouping from the fused aggregates; the per-job key and outcome columns
+// for Cramér's V come from the scan view instead of a fresh AoS walk.
+func (p *FusedProfile) Concentration(by GroupBy) (*ConcentrationResult, error) {
+	v := p.jv
+	ids := v.UserID
+	dict := v.Users
+	if by == ByProject {
+		ids = v.ProjectID
+		dict = v.Projects
+	}
+	keys := make([]string, v.N)
+	outcomes := make([]string, v.N)
+	for i := 0; i < v.N; i++ {
+		keys[i] = dict[ids[i]]
+		// Matches joblog.Outcome.String for the two possible values.
+		if v.Family[i] == 0 {
+			outcomes[i] = "success"
+		} else {
+			outcomes[i] = "failure"
+		}
+	}
+	return concentrationFromGroups(by, p.Groups(by), keys, outcomes)
+}
+
+// FusedScan runs every registered aggregation kernel over the job and event
+// column views in one pass each, fanned out over at most workers goroutines
+// (≤ 0 means GOMAXPROCS). Results are bit-identical to the legacy
+// per-analysis walks at any worker count.
+func (d *Dataset) FusedScan(workers int) (*FusedProfile, error) {
+	jv := d.JobView()
+	ev := d.EventView()
+	tk := newTemporalJobKernel(d)
+	jobKernels := []JobKernel{
+		summaryKernel{},
+		exitTallyKernel{},
+		newJointKernel(d, DefaultJointOptions()),
+		newGroupKernel(ByUser, len(jv.Users)),
+		newGroupKernel(ByProject, len(jv.Projects)),
+		wasteKernel{},
+		tk,
+	}
+	jsts, err := scan.Run(jv, jv.N, jobKernels, workers)
+	if err != nil {
+		return nil, err
+	}
+	eventKernels := []EventKernel{
+		&profileKernel{nCats: len(ev.Cats), nComps: len(ev.Comps)},
+		&temporalEventKernel{monthCap: tk.monthCap},
+		&localityKernel{level: machine.LevelMidplane},
+		&localityKernel{level: machine.LevelRack},
+	}
+	ests, err := scan.Run(ev, ev.N, eventKernels, workers)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &FusedProfile{jv: jv}
+	sum := jsts[0].(*summaryState)
+	p.Summary = Summary{
+		Days:        d.Days(),
+		Jobs:        len(d.Jobs),
+		Tasks:       len(d.Tasks),
+		Users:       len(jv.Users),
+		Projects:    len(jv.Projects),
+		CoreHours:   float64(sum.coreSec) / 3600,
+		RASTotal:    len(d.Events),
+		RASFatal:    len(d.fatalIdx),
+		RASWarn:     len(d.warnIdx),
+		RASInfo:     d.infoN,
+		IORecords:   len(d.IO),
+		FailedJobs:  sum.failed,
+		SuccessJobs: sum.success,
+	}
+	p.Exit = jsts[1].(*exitTallyState).t
+	p.Joint = jsts[2].(*jointState).t
+	p.UserGroups = jsts[3].(*groupState).finish(jv.Users)
+	p.ProjectGroups = jsts[4].(*groupState).finish(jv.Projects)
+	p.Waste = jsts[5].(*wasteState).finish()
+	p.Temporal = finishTemporal(jsts[6].(*temporalJobState), ests[1].(*temporalEventState))
+	p.RAS = ests[0].(*profileState).finish(ev)
+	p.localityMid, p.localityMidErr = ests[2].(*localityState).finish()
+	p.localityRack, p.localityRackErr = ests[3].(*localityState).finish()
+	p.Interrupts, p.InterruptsErr = interruptsFromGroups(p.UserGroups)
+	return p, nil
+}
+
+// finishTemporal combines the job- and event-side temporal states into the
+// legacy profile. The legacy walk visits jobs first, then FATAL events, so
+// the month list is the job months in first-appearance order followed by
+// event-only months.
+func finishTemporal(js *temporalJobState, es *temporalEventState) *TemporalProfile {
+	p := &TemporalProfile{
+		JobsByHour:     js.jobsHour,
+		FailsByHour:    js.failsHour,
+		JobsByWeekday:  js.jobsWd,
+		FailsByWeekday: js.failsWd,
+		FatalByHour:    es.fatalHour,
+		JobsByDay:      js.jobsDay,
+	}
+	idx := make(map[int32]int, len(js.months)+len(es.months))
+	for i, ym := range js.months {
+		idx[ym] = i
+		p.Months = append(p.Months, ymLabel(ym))
+		p.JobsByMonth = append(p.JobsByMonth, js.mJobs[i])
+		p.FailsByMonth = append(p.FailsByMonth, js.mFails[i])
+		p.FatalByMonth = append(p.FatalByMonth, 0)
+	}
+	for i, ym := range es.months {
+		j, ok := idx[ym]
+		if !ok {
+			j = len(p.Months)
+			idx[ym] = j
+			p.Months = append(p.Months, ymLabel(ym))
+			p.JobsByMonth = append(p.JobsByMonth, 0)
+			p.FailsByMonth = append(p.FailsByMonth, 0)
+			p.FatalByMonth = append(p.FatalByMonth, 0)
+		}
+		p.FatalByMonth[j] += es.mFatals[i]
+	}
+	return p
+}
+
+// interruptsFromGroups computes the E15 interruption-vs-consumption
+// correlation from per-user aggregates (system attribution already folded
+// into SystemFails).
+func interruptsFromGroups(userGroups []GroupStats) (*InterruptCorrelation, error) {
+	if len(userGroups) < 3 {
+		return nil, fmt.Errorf("core: need ≥3 users, have %d", len(userGroups))
+	}
+	sorted := append([]GroupStats(nil), userGroups...)
+	sortGroupsByKey(sorted)
+	ch := make([]float64, len(sorted))
+	jobs := make([]float64, len(sorted))
+	ints := make([]float64, len(sorted))
+	for i := range sorted {
+		ch[i] = sorted[i].CoreHours
+		jobs[i] = float64(sorted[i].Jobs)
+		ints[i] = float64(sorted[i].SystemFails)
+	}
+	return interruptCorrelationFrom(ch, jobs, ints)
+}

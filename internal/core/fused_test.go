@@ -1,0 +1,274 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/scan"
+)
+
+// TestFusedScanMatchesLegacy pins the tentpole equivalence: every aggregate
+// the fused single-pass engine produces deep-equals the dedicated
+// per-analysis walk, at any worker count.
+func TestFusedScanMatchesLegacy(t *testing.T) {
+	d, _ := dataset(t)
+	cls := d.ClassifyByExit()
+	joint := d.ClassifyJoint(DefaultJointOptions())
+	for _, workers := range []int{1, 4} {
+		p, err := d.FusedScan(workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got, want := p.Summary, d.Summarize(); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: summary: fused %+v, legacy %+v", workers, got, want)
+		}
+		if got, want := p.Exit, TallyOf(cls); got != want {
+			t.Errorf("workers=%d: exit tally: fused %+v, legacy %+v", workers, got, want)
+		}
+		if got, want := p.Joint, TallyOf(joint); got != want {
+			t.Errorf("workers=%d: joint tally: fused %+v, legacy %+v", workers, got, want)
+		}
+		for _, by := range []GroupBy{ByUser, ByProject} {
+			if got, want := p.Groups(by), d.Aggregate(by, cls); !reflect.DeepEqual(got, want) {
+				t.Errorf("workers=%d: groups by %s differ", workers, by)
+			}
+			got, err := p.Concentration(by)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := d.Concentration(by, cls)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("workers=%d: concentration by %s: fused %+v, legacy %+v", workers, by, got, want)
+			}
+		}
+		if got, want := p.Temporal, d.Temporal(); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: temporal profile differs", workers)
+		}
+		if got, want := p.RAS, d.Profile(); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: RAS profile differs", workers)
+		}
+		{
+			got := p.Waste
+			want, err := d.Waste(cls)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("workers=%d: waste: fused %+v, legacy %+v", workers, got, want)
+			}
+		}
+		{
+			got, gotErr := p.Interrupts, p.InterruptsErr
+			want, wantErr := d.InterruptsByUser(cls)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("workers=%d: interrupts err: fused %v, legacy %v", workers, gotErr, wantErr)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("workers=%d: interrupts: fused %+v, legacy %+v", workers, got, want)
+			}
+		}
+		for _, level := range []machine.Level{machine.LevelMidplane, machine.LevelRack} {
+			got, gotErr := p.Locality(level)
+			want, wantErr := d.Locality(level)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("workers=%d: locality %v err: fused %v, legacy %v", workers, level, gotErr, wantErr)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("workers=%d: locality at %v differs", workers, level)
+			}
+		}
+	}
+}
+
+// TestFilterCachedMatchesPlain pins the interned-key coalesce to the plain
+// map-based pass: identical incidents for the default rule at several
+// windows, for both severities, plus the non-default-key fallback.
+func TestFilterCachedMatchesPlain(t *testing.T) {
+	// A private dataset, so the lazily interned key cache this test builds
+	// does not show up in the shared dataset other tests DeepEqual against
+	// fresh rebuilds.
+	_, c := dataset(t)
+	d, err := NewDataset(c.Jobs, c.Tasks, c.Events, c.IO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, window := range []time.Duration{time.Minute, 20 * time.Minute, 2 * time.Hour} {
+		rule := DefaultFilterRule()
+		rule.Window = window
+		for _, sev := range []struct {
+			name   string
+			plain  func(FilterRule) ([]Incident, error)
+			cached func(FilterRule) ([]Incident, error)
+		}{
+			{"fatal", d.FilterFatal, d.FilterFatalCached},
+			{"warn", d.FilterWarn, d.FilterWarnCached},
+		} {
+			want, err := sev.plain(rule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sev.cached(rule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s window %v: cached filter differs from plain", sev.name, window)
+			}
+		}
+	}
+	odd := FilterRule{Window: 20 * time.Minute, Spatial: machine.LevelRack}
+	want, err := d.FilterFatal(odd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.FilterFatalCached(odd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("non-default key config fallback differs from plain")
+	}
+	if _, err := d.FilterFatalCached(FilterRule{Window: -1}); err == nil {
+		t.Error("invalid rule accepted")
+	}
+}
+
+// TestLeadTimeSweepMatchesLeadTime pins the E16 sweep: evaluating several
+// lookbacks over one filtering pass matches the one-option path exactly.
+func TestLeadTimeSweepMatchesLeadTime(t *testing.T) {
+	d, _ := dataset(t)
+	rule := DefaultFilterRule()
+	fatals, err := d.FilterFatal(rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warns, err := d.FilterWarn(rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookbacks := []time.Duration{time.Hour, 6 * time.Hour, 12 * time.Hour, 24 * time.Hour}
+	opts := make([]LeadTimeOptions, len(lookbacks))
+	for i, lb := range lookbacks {
+		opts[i] = DefaultLeadTimeOptions()
+		opts[i].Lookback = lb
+	}
+	swept, err := LeadTimeSweep(fatals, warns, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, opt := range opts {
+		want, err := d.LeadTime(rule, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(swept[i], want) {
+			t.Errorf("lookback %v: sweep %+v, single %+v", lookbacks[i], swept[i], want)
+		}
+	}
+	if _, err := LeadTimeSweep(fatals, warns, nil); err == nil {
+		t.Error("empty option list accepted")
+	}
+	mixed := []LeadTimeOptions{
+		{Lookback: time.Hour, Level: machine.LevelRack},
+		{Lookback: time.Hour, Level: machine.LevelNode},
+	}
+	if _, err := LeadTimeSweep(fatals, warns, mixed); err == nil {
+		t.Error("mixed spatial levels accepted")
+	}
+}
+
+// TestViewBuildersMatchDataset pins the SoA mirrors to the AoS records they
+// shadow, column by column, on a few spot rows plus the dictionaries.
+func TestViewBuildersMatchDataset(t *testing.T) {
+	d, _ := dataset(t)
+	jv := d.JobView()
+	if jv.N != len(d.Jobs) {
+		t.Fatalf("job view has %d rows for %d jobs", jv.N, len(d.Jobs))
+	}
+	for _, i := range []int{0, 1, jv.N / 2, jv.N - 1} {
+		j := &d.Jobs[i]
+		if jv.ID[i] != j.ID || jv.StartUnix[i] != j.Start.Unix() || jv.EndUnix[i] != j.End.Unix() {
+			t.Fatalf("row %d: id/time columns mismatch", i)
+		}
+		if jv.CoreSec[i] != j.CoreSeconds() {
+			t.Fatalf("row %d: core-seconds %d, job says %d", i, jv.CoreSec[i], j.CoreSeconds())
+		}
+		if jv.Users[jv.UserID[i]] != j.User || jv.Projects[jv.ProjectID[i]] != j.Project {
+			t.Fatalf("row %d: dictionary mismatch", i)
+		}
+	}
+	ev := d.EventView()
+	if ev.N != len(d.Events) {
+		t.Fatalf("event view has %d rows for %d events", ev.N, len(d.Events))
+	}
+	for _, i := range []int{0, 1, ev.N / 2, ev.N - 1} {
+		e := &d.Events[i]
+		if ev.TimeUnix[i] != e.Time.Unix() || ev.Sev[i] != uint8(e.Sev) {
+			t.Fatalf("event row %d: time/sev mismatch", i)
+		}
+		if string(ev.Cats[ev.CatID[i]]) != string(e.Cat) || string(ev.Comps[ev.CompID[i]]) != string(e.Comp) {
+			t.Fatalf("event row %d: dictionary mismatch", i)
+		}
+		wantMid, wantRack := LocIDs(e.Loc)
+		if ev.MidplaneID[i] != wantMid || ev.RackID[i] != wantRack {
+			t.Fatalf("event row %d: location ids (%d,%d), want (%d,%d)",
+				i, ev.MidplaneID[i], ev.RackID[i], wantMid, wantRack)
+		}
+	}
+	// AdoptViews rejects mismatched row counts and is a no-op after the
+	// lazy build.
+	if err := d.AdoptViews(&scan.JobView{N: jv.N + 1}, nil); err == nil {
+		t.Error("adopt accepted wrong job row count")
+	}
+	if err := d.AdoptViews(&scan.JobView{N: jv.N}, nil); err != nil {
+		t.Errorf("late adopt errored: %v", err)
+	}
+	if d.JobView() != jv {
+		t.Error("late adopt replaced the built view")
+	}
+}
+
+// TestKernelProcessBlockAllocFree pins the steady-state scan loops as
+// allocation-free: after the warm-up pass, processing further blocks must
+// not allocate for any registered kernel.
+func TestKernelProcessBlockAllocFree(t *testing.T) {
+	d, _ := dataset(t)
+	jv := d.JobView()
+	ev := d.EventView()
+	tk := newTemporalJobKernel(d)
+	jobKernels := []JobKernel{
+		summaryKernel{},
+		exitTallyKernel{},
+		newJointKernel(d, DefaultJointOptions()),
+		newGroupKernel(ByUser, len(jv.Users)),
+		newGroupKernel(ByProject, len(jv.Projects)),
+		wasteKernel{},
+		tk,
+	}
+	blk := scan.BlockRows
+	for _, k := range jobKernels {
+		st := k.NewState()
+		hi := min(blk, jv.N)
+		if avg := testing.AllocsPerRun(20, func() { st.ProcessBlock(jv, 0, hi) }); avg != 0 {
+			t.Errorf("job kernel %s: %.1f allocs per block", k.Name(), avg)
+		}
+	}
+	eventKernels := []EventKernel{
+		&profileKernel{nCats: len(ev.Cats), nComps: len(ev.Comps)},
+		&temporalEventKernel{monthCap: tk.monthCap},
+		&localityKernel{level: machine.LevelMidplane},
+		&localityKernel{level: machine.LevelRack},
+	}
+	for _, k := range eventKernels {
+		st := k.NewState()
+		hi := min(blk, ev.N)
+		if avg := testing.AllocsPerRun(20, func() { st.ProcessBlock(ev, 0, hi) }); avg != 0 {
+			t.Errorf("event kernel %s: %.1f allocs per block", k.Name(), avg)
+		}
+	}
+}

@@ -95,10 +95,12 @@ type InterruptCorrelation struct {
 	Interrupted    int // users with ≥1 system interrupt
 }
 
-// InterruptsByUser computes E15 from a classification.
+// InterruptsByUser computes E15 from a classification. Core-hours
+// accumulate as integer core-seconds so the per-user values match the fused
+// scan engine's sharded sums bit-for-bit.
 func (d *Dataset) InterruptsByUser(cls *Classification) (*InterruptCorrelation, error) {
 	type agg struct {
-		ch         float64
+		coreSec    int64
 		jobs       int
 		interrupts int
 	}
@@ -111,7 +113,7 @@ func (d *Dataset) InterruptsByUser(cls *Classification) (*InterruptCorrelation, 
 			m[j.User] = a
 		}
 		a.jobs++
-		a.ch += j.CoreHours()
+		a.coreSec += j.CoreSeconds()
 		if cls.Causes[j.ID] == CauseSystem {
 			a.interrupts++
 		}
@@ -128,13 +130,21 @@ func (d *Dataset) InterruptsByUser(cls *Classification) (*InterruptCorrelation, 
 	ch := make([]float64, len(users))
 	jobs := make([]float64, len(users))
 	ints := make([]float64, len(users))
-	res := &InterruptCorrelation{Users: len(users)}
 	for i, u := range users {
 		a := m[u]
-		ch[i] = a.ch
+		ch[i] = float64(a.coreSec) / 3600
 		jobs[i] = float64(a.jobs)
 		ints[i] = float64(a.interrupts)
-		if a.interrupts > 0 {
+	}
+	return interruptCorrelationFrom(ch, jobs, ints)
+}
+
+// interruptCorrelationFrom computes the correlation profile from aligned
+// per-user series in deterministic (alphabetical) user order.
+func interruptCorrelationFrom(ch, jobs, ints []float64) (*InterruptCorrelation, error) {
+	res := &InterruptCorrelation{Users: len(ch)}
+	for _, n := range ints {
+		if n > 0 {
 			res.Interrupted++
 		}
 	}
@@ -146,7 +156,7 @@ func (d *Dataset) InterruptsByUser(cls *Classification) (*InterruptCorrelation, 
 		return nil, err
 	}
 	// Top decile by core-hours.
-	idx := make([]int, len(users))
+	idx := make([]int, len(ch))
 	for i := range idx {
 		idx[i] = i
 	}

@@ -36,20 +36,61 @@ func (d *Dataset) Locality(level machine.Level) (*LocalityResult, error) {
 	if level != machine.LevelRack && level != machine.LevelMidplane {
 		return nil, fmt.Errorf("core: locality level must be rack or midplane, got %v", level)
 	}
-	counts := map[machine.Location]int{}
+	slots := machine.NumRacks
+	if level == machine.LevelMidplane {
+		slots = machine.TotalMidplanes
+	}
+	counts := make([]int, slots)
 	total := 0
 	for _, i := range d.fatalIdx {
 		e := &d.Events[i]
 		if e.Loc.Level() < level {
 			continue
 		}
-		anc, err := e.Loc.Ancestor(level)
-		if err != nil {
-			continue
+		id := e.Loc.RackIndex()
+		if level == machine.LevelMidplane {
+			var err error
+			if id, err = e.Loc.MidplaneID(); err != nil {
+				continue
+			}
 		}
-		counts[anc]++
+		counts[id]++
 		total++
 	}
+	list, err := locationCounts(level, counts)
+	if err != nil {
+		return nil, err
+	}
+	return localityFromCounts(level, list, total)
+}
+
+// locationCounts converts a dense per-location count array (indexed by
+// midplane ID or rack index, depending on level) into the sparse
+// LocationCount list, omitting zero-count locations.
+func locationCounts(level machine.Level, counts []int) ([]LocationCount, error) {
+	list := make([]LocationCount, 0, len(counts))
+	for id, n := range counts {
+		if n == 0 {
+			continue
+		}
+		var loc machine.Location
+		var err error
+		if level == machine.LevelMidplane {
+			loc, err = machine.MidplaneByID(id)
+		} else {
+			loc, err = machine.Rack(id)
+		}
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, LocationCount{Loc: loc, Count: n})
+	}
+	return list, nil
+}
+
+// localityFromCounts computes the concentration profile from per-location
+// FATAL counts (any order; zero-count locations omitted) at the level.
+func localityFromCounts(level machine.Level, counts []LocationCount, total int) (*LocalityResult, error) {
 	if total == 0 {
 		return nil, fmt.Errorf("core: no FATAL events at or below %v", level)
 	}
@@ -57,19 +98,16 @@ func (d *Dataset) Locality(level machine.Level) (*LocalityResult, error) {
 	if level == machine.LevelMidplane {
 		slots = machine.TotalMidplanes
 	}
-	// Include zero-count locations: concentration is relative to all
-	// hardware, not just hardware that ever failed.
-	vals := make([]float64, 0, slots)
-	out := &LocalityResult{Level: level}
-	for loc, n := range counts {
-		out.Counts = append(out.Counts, LocationCount{Loc: loc, Count: n})
-	}
+	out := &LocalityResult{Level: level, Counts: counts}
 	sort.Slice(out.Counts, func(i, j int) bool {
 		if out.Counts[i].Count != out.Counts[j].Count {
 			return out.Counts[i].Count > out.Counts[j].Count
 		}
 		return out.Counts[i].Loc.String() < out.Counts[j].Loc.String()
 	})
+	// Include zero-count locations: concentration is relative to all
+	// hardware, not just hardware that ever failed.
+	vals := make([]float64, 0, slots)
 	for _, c := range out.Counts {
 		vals = append(vals, float64(c.Count))
 	}

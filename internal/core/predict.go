@@ -46,9 +46,6 @@ type LeadTimeResult struct {
 // filtering rule and measures precursor coverage, lead time and alarm
 // precision at the chosen spatial level.
 func (d *Dataset) LeadTime(rule FilterRule, opt LeadTimeOptions) (*LeadTimeResult, error) {
-	if opt.Lookback <= 0 || opt.Level < machine.LevelRack || opt.Level > machine.LevelNode {
-		opt = DefaultLeadTimeOptions()
-	}
 	fatals, err := d.FilterFatal(rule)
 	if err != nil {
 		return nil, err
@@ -57,11 +54,40 @@ func (d *Dataset) LeadTime(rule FilterRule, opt LeadTimeOptions) (*LeadTimeResul
 	if err != nil {
 		return nil, err
 	}
+	rs, err := LeadTimeSweep(fatals, warns, []LeadTimeOptions{opt})
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
+}
+
+// LeadTimeSweep evaluates the precursor analysis over pre-filtered FATAL
+// incidents and WARN bursts for several lookback windows at once. The
+// nearest-preceding-burst search and the per-burst next-incident gap are
+// lookback-independent, so they are computed once and each result is just a
+// different thresholding — results are identical to calling LeadTime per
+// option but the expensive filtering and indexing happen once. All options
+// must share a spatial level.
+func LeadTimeSweep(fatals, warns []Incident, opts []LeadTimeOptions) ([]*LeadTimeResult, error) {
+	if len(opts) == 0 {
+		return nil, fmt.Errorf("core: lead time sweep needs ≥1 option")
+	}
+	norm := make([]LeadTimeOptions, len(opts))
+	for i, opt := range opts {
+		if opt.Lookback <= 0 || opt.Level < machine.LevelRack || opt.Level > machine.LevelNode {
+			opt = DefaultLeadTimeOptions()
+		}
+		norm[i] = opt
+		if opt.Level != norm[0].Level {
+			return nil, fmt.Errorf("core: lead time sweep options mix levels %v and %v", norm[0].Level, opt.Level)
+		}
+	}
+	level := norm[0].Level
 	locKey := func(loc machine.Location) (machine.Location, bool) {
-		if loc.Level() < opt.Level {
+		if loc.Level() < level {
 			return machine.Location{}, false
 		}
-		anc, err := loc.Ancestor(opt.Level)
+		anc, err := loc.Ancestor(level)
 		if err != nil {
 			return machine.Location{}, false
 		}
@@ -78,9 +104,14 @@ func (d *Dataset) LeadTime(rule FilterRule, opt LeadTimeOptions) (*LeadTimeResul
 		warnsAt[key] = append(warnsAt[key], w)
 		localWarns++
 	}
-	res := &LeadTimeResult{WarnBursts: localWarns}
+	rs := make([]*LeadTimeResult, len(norm))
+	for i := range rs {
+		rs[i] = &LeadTimeResult{WarnBursts: localWarns}
+	}
 
-	// Coverage: nearest WARN burst ending before the incident starts.
+	// Coverage: nearest WARN burst starting before the incident does. The
+	// burst index is lookback-independent; each option only thresholds the
+	// lead differently.
 	fatalsAt := map[machine.Location][]Incident{}
 	for _, f := range fatals {
 		key, ok := locKey(f.Loc)
@@ -88,48 +119,60 @@ func (d *Dataset) LeadTime(rule FilterRule, opt LeadTimeOptions) (*LeadTimeResul
 			continue
 		}
 		fatalsAt[key] = append(fatalsAt[key], f)
-		res.Incidents++
 		bursts := warnsAt[key]
 		// Bursts are time-sorted (events were); find the latest with
-		// First < f.First and First ≥ f.First − Lookback.
+		// First < f.First.
 		idx := sort.Search(len(bursts), func(i int) bool {
 			return !bursts[i].First.Before(f.First)
 		})
-		if idx == 0 {
-			continue
+		var lead time.Duration
+		if idx > 0 {
+			lead = f.First.Sub(bursts[idx-1].First)
 		}
-		prev := bursts[idx-1]
-		lead := f.First.Sub(prev.First)
-		if lead > 0 && lead <= opt.Lookback {
-			res.WithPrecursor++
-			res.LeadHours = append(res.LeadHours, lead.Hours())
+		for oi, opt := range norm {
+			rs[oi].Incidents++
+			if idx > 0 && lead > 0 && lead <= opt.Lookback {
+				rs[oi].WithPrecursor++
+				rs[oi].LeadHours = append(rs[oi].LeadHours, lead.Hours())
+			}
 		}
 	}
-	if res.Incidents > 0 {
-		res.Coverage = float64(res.WithPrecursor) / float64(res.Incidents)
-	}
-	if len(res.LeadHours) > 0 {
-		med, err := stats.Quantile(res.LeadHours, 0.5)
-		if err != nil {
-			return nil, fmt.Errorf("core: lead time median: %w", err)
+	for _, res := range rs {
+		if res.Incidents > 0 {
+			res.Coverage = float64(res.WithPrecursor) / float64(res.Incidents)
 		}
-		res.MedianLeadH = med
+		if len(res.LeadHours) > 0 {
+			med, err := stats.Quantile(res.LeadHours, 0.5)
+			if err != nil {
+				return nil, fmt.Errorf("core: lead time median: %w", err)
+			}
+			res.MedianLeadH = med
+		}
 	}
 
-	// Precision: does a WARN burst actually precede a FATAL here?
+	// Precision: does a WARN burst actually precede a FATAL here? The gap to
+	// the next incident is lookback-independent too.
 	for key, bursts := range warnsAt {
 		incidents := fatalsAt[key]
 		for _, b := range bursts {
 			idx := sort.Search(len(incidents), func(i int) bool {
 				return incidents[i].First.After(b.First)
 			})
-			if idx < len(incidents) && incidents[idx].First.Sub(b.First) <= opt.Lookback {
-				res.TrueAlarms++
+			if idx >= len(incidents) {
+				continue
+			}
+			gap := incidents[idx].First.Sub(b.First)
+			for oi, opt := range norm {
+				if gap <= opt.Lookback {
+					rs[oi].TrueAlarms++
+				}
 			}
 		}
 	}
-	if res.WarnBursts > 0 {
-		res.Precision = float64(res.TrueAlarms) / float64(res.WarnBursts)
+	for _, res := range rs {
+		if res.WarnBursts > 0 {
+			res.Precision = float64(res.TrueAlarms) / float64(res.WarnBursts)
+		}
 	}
-	return res, nil
+	return rs, nil
 }

@@ -48,7 +48,10 @@ func (d *Dataset) Scheduling() (*SchedulingResult, error) {
 		return nil, fmt.Errorf("core: no jobs")
 	}
 	waits := map[int][]float64{}
-	var sizes, waitVals []float64
+	// The paired-sample slices reach one entry per job; sizing them up front
+	// avoids repeated growth copies on the hot suite path.
+	sizes := make([]float64, 0, len(d.Jobs))
+	waitVals := make([]float64, 0, len(d.Jobs))
 	var okReq, okUsed []float64
 	ratiosByOutcome := map[string][]float64{}
 	for i := range d.Jobs {
@@ -142,12 +145,19 @@ type LifePhase struct {
 // how the job failure rate and MTTI evolve over the system's life — the
 // burn-in / mid-life / wear-out trajectory.
 func (d *Dataset) LifePhases(n int, rule FilterRule) ([]LifePhase, error) {
-	if n < 2 {
-		return nil, fmt.Errorf("core: need ≥2 phases, got %d", n)
-	}
 	mtti, err := d.MTTI(rule)
 	if err != nil {
 		return nil, err
+	}
+	return d.LifePhasesFromMTTI(n, mtti)
+}
+
+// LifePhasesFromMTTI computes the life-phase profile from an
+// already-computed MTTI analysis, letting callers reuse a memoized result
+// instead of re-filtering the FATAL stream.
+func (d *Dataset) LifePhasesFromMTTI(n int, mtti *MTTIResult) ([]LifePhase, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("core: need ≥2 phases, got %d", n)
 	}
 	start, end := d.Span()
 	span := end.Sub(start)

@@ -28,12 +28,19 @@ type SpatialCorrResult struct {
 // torus distance of incident pairs that start within window of each other
 // against the all-pairs baseline.
 func (d *Dataset) SpatialCorrelation(rule FilterRule, window time.Duration) (*SpatialCorrResult, error) {
-	if window <= 0 {
-		return nil, fmt.Errorf("core: spatial correlation window must be positive")
-	}
 	incidents, err := d.FilterFatal(rule)
 	if err != nil {
 		return nil, err
+	}
+	return SpatialCorrelationIncidents(incidents, window)
+}
+
+// SpatialCorrelationIncidents runs the torus-correlation analysis over
+// already-filtered incidents, letting callers reuse one filtering pass for
+// several windows.
+func SpatialCorrelationIncidents(incidents []Incident, window time.Duration) (*SpatialCorrResult, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("core: spatial correlation window must be positive")
 	}
 	type point struct {
 		at  time.Time

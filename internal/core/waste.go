@@ -33,38 +33,51 @@ func (d *Dataset) Waste(cls *Classification) (*WasteResult, error) {
 	if cls == nil {
 		return nil, fmt.Errorf("core: waste needs a classification")
 	}
+	// All sums accumulate as integer core-seconds (order-insensitive) and
+	// convert to core-hours once, matching the fused scan engine's sharded
+	// sums bit-for-bit.
+	type famAccum struct {
+		jobs    int
+		coreSec int64
+	}
 	res := &WasteResult{}
-	byFam := map[joblog.ExitFamily]*WasteRow{}
+	byFam := map[joblog.ExitFamily]*famAccum{}
+	var totalCS, wastedCS, userCS, sysCS int64
 	for i := range d.Jobs {
 		j := &d.Jobs[i]
-		ch := j.CoreHours()
-		res.TotalCoreHours += ch
+		cs := j.CoreSeconds()
+		totalCS += cs
 		if j.Outcome() != joblog.OutcomeFailure {
 			continue
 		}
-		res.WastedCoreHours += ch
+		wastedCS += cs
 		if cls.Causes[j.ID] == CauseSystem {
-			res.SystemCoreHours += ch
+			sysCS += cs
 		} else {
-			res.UserCoreHours += ch
+			userCS += cs
 		}
 		fam := joblog.Family(j.ExitStatus)
 		row, ok := byFam[fam]
 		if !ok {
-			row = &WasteRow{Family: fam}
+			row = &famAccum{}
 			byFam[fam] = row
 		}
-		row.Jobs++
-		row.CoreHours += ch
+		row.jobs++
+		row.coreSec += cs
 	}
+	res.TotalCoreHours = float64(totalCS) / 3600
+	res.WastedCoreHours = float64(wastedCS) / 3600
+	res.UserCoreHours = float64(userCS) / 3600
+	res.SystemCoreHours = float64(sysCS) / 3600
 	if res.TotalCoreHours > 0 {
 		res.WastedShare = res.WastedCoreHours / res.TotalCoreHours
 	}
-	for _, row := range byFam {
+	for fam, a := range byFam {
+		row := WasteRow{Family: fam, Jobs: a.jobs, CoreHours: float64(a.coreSec) / 3600}
 		if res.WastedCoreHours > 0 {
 			row.Share = row.CoreHours / res.WastedCoreHours
 		}
-		res.ByFamily = append(res.ByFamily, *row)
+		res.ByFamily = append(res.ByFamily, row)
 	}
 	sort.Slice(res.ByFamily, func(i, j int) bool {
 		if res.ByFamily[i].CoreHours != res.ByFamily[j].CoreHours {

@@ -28,15 +28,25 @@ type CensoredObservation struct {
 // job-failure data it recovers the infant-mortality shape (k < 1) directly
 // from the censored stream.
 func FitCensoredWeibull(obs []CensoredObservation) (Weibull, error) {
+	// Hoist the times and their logarithms into flat arrays once: the shape
+	// equation is evaluated O(iterations) times and ln x does not depend on
+	// k, so caching it removes one transcendental per sample per evaluation
+	// (and the flat float64 arrays scan with half the stride of the
+	// observation structs). The summation order and every arithmetic step of
+	// g are unchanged, so the fitted parameters are bit-identical.
+	times := make([]float64, len(obs))
+	logs := make([]float64, len(obs))
 	var nObs int
 	var meanLogObs float64
-	for _, o := range obs {
+	for i, o := range obs {
 		if o.Time <= 0 || math.IsNaN(o.Time) || math.IsInf(o.Time, 0) {
 			return Weibull{}, fmt.Errorf("fit censored weibull: %w", ErrBadSample)
 		}
+		times[i] = o.Time
+		logs[i] = math.Log(o.Time)
 		if o.Observed {
 			nObs++
-			meanLogObs += math.Log(o.Time)
+			meanLogObs += logs[i]
 		}
 	}
 	if len(obs) < 2 {
@@ -49,12 +59,37 @@ func FitCensoredWeibull(obs []CensoredObservation) (Weibull, error) {
 
 	g := func(k float64) float64 {
 		var sxk, sxkl float64
-		for _, o := range obs {
-			xk := math.Pow(o.Time, k)
+		for i, t := range times {
+			xk := math.Pow(t, k)
 			sxk += xk
-			sxkl += xk * math.Log(o.Time)
+			sxkl += xk * logs[i]
 		}
 		return sxkl/sxk - 1/k - meanLogObs
+	}
+	// gTriple evaluates g at k, k+h and k−h in a single sweep of the sample
+	// arrays. Each of the six sums has its own accumulator fed in the same
+	// element order as three separate g calls, and the final expressions are
+	// unchanged, so the results carry the exact same bits — only the two
+	// extra array traversals per Newton step disappear.
+	gTriple := func(k, h float64) (gk, gp, gm float64) {
+		kp, km := k+h, k-h
+		var sxk, sxkl, sxkp, sxklp, sxkm, sxklm float64
+		for i, t := range times {
+			l := logs[i]
+			xk := math.Pow(t, k)
+			sxk += xk
+			sxkl += xk * l
+			xp := math.Pow(t, kp)
+			sxkp += xp
+			sxklp += xp * l
+			xm := math.Pow(t, km)
+			sxkm += xm
+			sxklm += xm * l
+		}
+		gk = sxkl/sxk - 1/k - meanLogObs
+		gp = sxklp/sxkp - 1/kp - meanLogObs
+		gm = sxklm/sxkm - 1/km - meanLogObs
+		return gk, gp, gm
 	}
 
 	// Newton with numeric derivative, bisection fallback (g is increasing).
@@ -62,13 +97,13 @@ func FitCensoredWeibull(obs []CensoredObservation) (Weibull, error) {
 	const tol = 1e-10
 	converged := false
 	for iter := 0; iter < 100; iter++ {
-		gk := g(k)
+		h := 1e-6 * math.Max(1, k)
+		gk, gp, gm := gTriple(k, h)
 		if math.Abs(gk) < tol {
 			converged = true
 			break
 		}
-		h := 1e-6 * math.Max(1, k)
-		dg := (g(k+h) - g(k-h)) / (2 * h)
+		dg := (gp - gm) / (2 * h)
 		if dg == 0 || math.IsNaN(dg) {
 			break
 		}
@@ -102,8 +137,8 @@ func FitCensoredWeibull(obs []CensoredObservation) (Weibull, error) {
 	}
 
 	var sxk float64
-	for _, o := range obs {
-		sxk += math.Pow(o.Time, k)
+	for _, t := range times {
+		sxk += math.Pow(t, k)
 	}
 	scale := math.Pow(sxk/float64(nObs), 1/k)
 	return NewWeibull(k, scale)

@@ -29,6 +29,13 @@ type Env struct {
 	// ≤ 0 means GOMAXPROCS. Results are identical at any setting.
 	Parallelism int
 
+	// Legacy disables the fused scan engine: every accessor recomputes its
+	// analysis with the pre-fusion per-experiment walks. Results are
+	// bit-identical either way (the equivalence tests enforce it); the
+	// switch exists for the paired benchmark and for bisecting regressions.
+	// Set it before the first experiment runs.
+	Legacy bool
+
 	cache *envCache
 }
 
@@ -61,6 +68,27 @@ type envCache struct {
 	survOnce         sync.Once
 	surv             *core.SurvivalResult
 	survErr          error
+
+	// Fused-scan profile plus the fused-mode memoizations layered on it
+	// (see fused.go). profileOnce guards the single shared scan RunAll
+	// triggers instead of ~20 private corpus walks.
+	profileOnce sync.Once
+	profile     *core.FusedProfile
+	profileErr  error
+
+	concUserOnce sync.Once
+	concUser     *core.ConcentrationResult
+	concUserErr  error
+	concProjOnce sync.Once
+	concProj     *core.ConcentrationResult
+	concProjErr  error
+
+	fatalIncOnce sync.Once
+	fatalInc     []core.Incident
+	fatalIncErr  error
+	warnIncOnce  sync.Once
+	warnInc      []core.Incident
+	warnIncErr   error
 }
 
 // NewEnv generates a corpus and indexes it. Generation uses all cores; use

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/report"
 )
 
@@ -12,19 +11,18 @@ import (
 // fatal incidents are preceded by warning bursts on the same hardware, and
 // with what lead time.
 func E16(env *Env) (*Result, error) {
-	rule := core.DefaultFilterRule()
 	t := &report.Table{
 		Title:   "E16: WARN→FATAL precursor analysis by lookback window",
 		Columns: []string{"lookback", "incidents", "with precursor", "coverage", "median lead (h)", "warn bursts", "alarm precision"},
 	}
 	metrics := map[string]float64{}
-	for _, lookback := range []time.Duration{time.Hour, 6 * time.Hour, 12 * time.Hour, 24 * time.Hour} {
-		opt := core.DefaultLeadTimeOptions()
-		opt.Lookback = lookback
-		res, err := env.D.LeadTime(rule, opt)
-		if err != nil {
-			return nil, err
-		}
+	lookbacks := []time.Duration{time.Hour, 6 * time.Hour, 12 * time.Hour, 24 * time.Hour}
+	results, err := env.LeadTimes(lookbacks)
+	if err != nil {
+		return nil, err
+	}
+	for i, lookback := range lookbacks {
+		res := results[i]
 		t.AddRow(lookback.String(), res.Incidents, res.WithPrecursor, res.Coverage,
 			res.MedianLeadH, res.WarnBursts, res.Precision)
 		key := fmt.Sprintf("%dh", int(lookback.Hours()))
@@ -88,7 +86,7 @@ func E17(env *Env) (*Result, error) {
 // MTTI per life phase (burn-in, mid-life, wear-out).
 func E18(env *Env) (*Result, error) {
 	const phases = 8
-	life, err := env.D.LifePhases(phases, core.DefaultFilterRule())
+	life, err := env.LifePhases(phases)
 	if err != nil {
 		return nil, err
 	}
@@ -136,8 +134,7 @@ func E18(env *Env) (*Result, error) {
 // E19 regenerates the failure-cost analysis: core-hours consumed by jobs
 // that produced no result, by exit family and by root cause.
 func E19(env *Env) (*Result, error) {
-	cls := env.ClassifyByExit()
-	w, err := env.D.Waste(cls)
+	w, err := env.Waste()
 	if err != nil {
 		return nil, err
 	}
@@ -210,7 +207,7 @@ func E21(env *Env) (*Result, error) {
 	}
 	metrics := map[string]float64{}
 	for _, window := range []time.Duration{time.Hour, 6 * time.Hour, 24 * time.Hour} {
-		res, err := env.D.SpatialCorrelation(core.DefaultFilterRule(), window)
+		res, err := env.SpatialCorr(window)
 		if err != nil {
 			return nil, err
 		}
@@ -308,11 +305,4 @@ func E23(env *Env) (*Result, error) {
 			"weibull_shape":     sv.ParametricWeibull.Shape,
 		},
 	}, nil
-}
-
-func boolMetric(b bool) float64 {
-	if b {
-		return 1
-	}
-	return 0
 }

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// renderAll renders every table and figure of a result into one byte
+// stream, mirroring what mirareport prints.
+func renderAll(t *testing.T, res *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, tab := range res.Tables {
+		if err := tab.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, fig := range res.Figures {
+		if err := fig.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestRunAllFusedMatchesLegacy is the PR's equivalence contract: the full
+// E1–E23 suite over the fused scan engine renders byte-identically to the
+// pre-fusion per-experiment walks, at several worker counts, over one
+// shared dataset. Metrics must match bit-for-bit (NaN equals NaN —
+// "undefined" is a deterministic outcome too).
+func TestRunAllFusedMatchesLegacy(t *testing.T) {
+	cfg := sim.SmallConfig()
+	c, err := sim.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.NewDataset(c.Jobs, c.Tasks, c.Events, c.IO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyEnv := NewEnvFromDataset(d)
+	legacyEnv.Legacy = true
+	legacyEnv.Parallelism = 1
+	legacy, err := RunAll(legacyEnv, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		fusedEnv := NewEnvFromDataset(d)
+		fusedEnv.Parallelism = workers
+		fused, err := RunAll(fusedEnv, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(fused) != len(legacy) {
+			t.Fatalf("workers=%d: %d results, legacy has %d", workers, len(fused), len(legacy))
+		}
+		for i := range legacy {
+			l, f := legacy[i], fused[i]
+			if l.ID != f.ID {
+				t.Fatalf("workers=%d: result %d is %s, legacy %s", workers, i, f.ID, l.ID)
+			}
+			if len(f.Metrics) != len(l.Metrics) {
+				t.Errorf("workers=%d %s: %d metrics, legacy %d", workers, l.ID, len(f.Metrics), len(l.Metrics))
+				continue
+			}
+			for k, lv := range l.Metrics {
+				fv, ok := f.Metrics[k]
+				if !ok {
+					t.Errorf("workers=%d %s: metric %q missing", workers, l.ID, k)
+					continue
+				}
+				if fv != lv && !(math.IsNaN(fv) && math.IsNaN(lv)) {
+					t.Errorf("workers=%d %s: metric %q = %v fused, %v legacy", workers, l.ID, k, fv, lv)
+				}
+			}
+			if got, want := renderAll(t, f), renderAll(t, l); !bytes.Equal(got, want) {
+				t.Errorf("workers=%d %s: rendered output differs from legacy", workers, l.ID)
+			}
+		}
+	}
+}
+
+// TestFusedAccessorsNilCache pins the constructor-less Env fallback: every
+// fused accessor must work (recomputing directly) on an Env literal with no
+// cache, matching the cached path.
+func TestFusedAccessorsNilCache(t *testing.T) {
+	cfg := sim.SmallConfig()
+	c, err := sim.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.NewDataset(c.Jobs, c.Tasks, c.Events, c.IO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := &Env{D: d, Parallelism: 1}
+	cached := NewEnvFromDataset(d)
+	cached.Parallelism = 1
+
+	bareSum, err := bare.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedSum, err := cached.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bareSum != cachedSum {
+		t.Errorf("summary: bare %+v, cached %+v", bareSum, cachedSum)
+	}
+	bareTally, err := bare.ExitTally()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedTally, err := cached.ExitTally()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bareTally != cachedTally {
+		t.Errorf("exit tally: bare %+v, cached %+v", bareTally, cachedTally)
+	}
+	bareFatals, err := bare.FatalIncidents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedFatals, err := cached.FatalIncidents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bareFatals) != len(cachedFatals) {
+		t.Errorf("fatal incidents: bare %d, cached %d", len(bareFatals), len(cachedFatals))
+	}
+	if again, _ := cached.FatalIncidents(); &again[0] != &cachedFatals[0] {
+		t.Error("cached fatal incidents not memoized")
+	}
+}
+
+// TestMetricsTableHelpers covers the shared metric helpers.
+func TestMetricsTableHelpers(t *testing.T) {
+	if safeDiv(6, 3) != 2 || safeDiv(1, 0) != 0 {
+		t.Error("safeDiv")
+	}
+	if boolMetric(true) != 1 || boolMetric(false) != 0 {
+		t.Error("boolMetric")
+	}
+	res := &Result{ID: "EX", Metrics: map[string]float64{"b": 2, "a": 1}}
+	var buf bytes.Buffer
+	tab := MetricsTable(res)
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Columns[0] != "metric" {
+		t.Error("metrics table shape")
+	}
+}

@@ -15,7 +15,10 @@ import (
 // E1 regenerates the dataset-summary table (Table I): span, job/task/event
 // counts, core-hours, RAS composition.
 func E1(env *Env) (*Result, error) {
-	s := env.D.Summarize()
+	s, err := env.Summary()
+	if err != nil {
+		return nil, err
+	}
 	t := &report.Table{
 		Title:   "E1 (Table I): dataset summary",
 		Columns: []string{"quantity", "value"},
@@ -51,10 +54,9 @@ func E1(env *Env) (*Result, error) {
 // E2 regenerates the workload-concentration analysis: Lorenz/Gini of jobs
 // and core-hours over users and projects.
 func E2(env *Env) (*Result, error) {
-	cls := env.ClassifyByExit()
 	res := &Result{ID: "E2", Description: "workload concentration", Metrics: map[string]float64{}}
 	for _, by := range []core.GroupBy{core.ByUser, core.ByProject} {
-		conc, err := env.D.Concentration(by, cls)
+		conc, err := env.Concentration(by)
 		if err != nil {
 			return nil, err
 		}
@@ -73,7 +75,10 @@ func E2(env *Env) (*Result, error) {
 		res.Metrics[fmt.Sprintf("top10_ch_share_%s", by)] = conc.Top10CHShare
 
 		// Lorenz curve figure over jobs.
-		groups := env.D.Aggregate(by, cls)
+		groups, err := env.Groups(by)
+		if err != nil {
+			return nil, err
+		}
 		jobs := make([]float64, len(groups))
 		for i, g := range groups {
 			jobs[i] = float64(g.Jobs)
@@ -139,16 +144,21 @@ func E3(env *Env) (*Result, error) {
 // E4 regenerates the headline failure table: failures per exit family and
 // the user-vs-system split (paper: 99,245 failures, 99.4% user-caused).
 func E4(env *Env) (*Result, error) {
-	cls := env.ClassifyByExit()
-	joint := env.ClassifyJoint()
+	cls, err := env.ExitTally()
+	if err != nil {
+		return nil, err
+	}
+	joint, err := env.JointTally()
+	if err != nil {
+		return nil, err
+	}
 	t := &report.Table{
 		Title:   "E4: job failures by exit family",
 		Columns: []string{"family", "jobs", "share of failures"},
 		Notes:   []string{"paper anchors: 99,245 failures, 99.4% user-caused"},
 	}
-	fams := append([]joblog.ExitFamily(nil), joblog.FailureFamilies()...)
-	for _, f := range fams {
-		n := cls.ByFamily[f]
+	for _, f := range joblog.FailureFamilies() {
+		n := cls.FamilyCount(f)
 		if n == 0 {
 			continue
 		}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// Small metric helpers shared across experiments; they used to be
+// duplicated near their first call sites in ras.go and extra.go.
+
+// safeDiv returns a/b, or 0 when b is zero — metric maps prefer a sentinel
+// over ±Inf.
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// boolMetric encodes a boolean as a 0/1 metric value.
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// incidentsAt reads the incident count at one window out of a filter sweep;
+// -1 when the sweep does not include the window.
+func incidentsAt(sweep []core.SweepPoint, w time.Duration) float64 {
+	for _, p := range sweep {
+		if p.Window == w {
+			return float64(p.Incidents)
+		}
+	}
+	return -1
+}

@@ -15,10 +15,9 @@ import (
 // E7 regenerates the failure↔user/project correlation analysis: top
 // failing users, identity↔outcome association, jobs↔failures correlation.
 func E7(env *Env) (*Result, error) {
-	cls := env.ClassifyByExit()
 	res := &Result{ID: "E7", Description: "failure correlation with users/projects", Metrics: map[string]float64{}}
 	for _, by := range []core.GroupBy{core.ByUser, core.ByProject} {
-		conc, err := env.D.Concentration(by, cls)
+		conc, err := env.Concentration(by)
 		if err != nil {
 			return nil, err
 		}
@@ -26,7 +25,10 @@ func E7(env *Env) (*Result, error) {
 		res.Metrics["pearson_jobs_failures_"+by.String()] = conc.PearsonJobsFailures
 		res.Metrics["top10_fail_share_"+by.String()] = conc.Top10FailShare
 
-		groups := env.D.Aggregate(by, cls)
+		groups, err := env.Groups(by)
+		if err != nil {
+			return nil, err
+		}
 		t := &report.Table{
 			Title:   fmt.Sprintf("E7: top-10 failing %ss", by),
 			Columns: []string{by.String(), "jobs", "failed", "fail rate", "system fails"},
@@ -78,7 +80,10 @@ func E8(env *Env) (*Result, error) {
 // E9 regenerates the RAS composition tables: events by severity, category
 // and component.
 func E9(env *Env) (*Result, error) {
-	p := env.D.Profile()
+	p, err := env.RASProfile()
+	if err != nil {
+		return nil, err
+	}
 	sev := &report.Table{Title: "E9: RAS events by severity", Columns: []string{"severity", "events", "share"}}
 	for _, s := range []raslog.Severity{raslog.Fatal, raslog.Warn, raslog.Info} {
 		sev.AddRow(s.String(), p.BySeverity[s], float64(p.BySeverity[s])/float64(p.Total))
@@ -129,7 +134,7 @@ func E9(env *Env) (*Result, error) {
 func E10(env *Env) (*Result, error) {
 	res := &Result{ID: "E10", Description: "spatial locality", Metrics: map[string]float64{}}
 	for _, level := range []machine.Level{machine.LevelMidplane, machine.LevelRack} {
-		loc, err := env.D.Locality(level)
+		loc, err := env.Locality(level)
 		if err != nil {
 			return nil, err
 		}
@@ -205,15 +210,6 @@ func E11(env *Env) (*Result, error) {
 		Tables: []*report.Table{t}, Figures: []*report.Figure{fig},
 		Metrics: metrics,
 	}, nil
-}
-
-func incidentsAt(sweep []core.SweepPoint, w time.Duration) float64 {
-	for _, p := range sweep {
-		if p.Window == w {
-			return float64(p.Incidents)
-		}
-	}
-	return -1
 }
 
 // E12 regenerates the MTTI analysis: filtered job-interrupting incidents,
@@ -294,7 +290,10 @@ func E13(env *Env) (*Result, error) {
 // E14 regenerates the temporal-pattern figures: jobs and failures by hour
 // of day and the monthly trend.
 func E14(env *Env) (*Result, error) {
-	p := env.D.Temporal()
+	p, err := env.Temporal()
+	if err != nil {
+		return nil, err
+	}
 	var hx, hj, hf, hr []float64
 	rates := p.FailRateByHour()
 	for h := 0; h < 24; h++ {
@@ -372,18 +371,10 @@ func E14(env *Env) (*Result, error) {
 	}, nil
 }
 
-func safeDiv(a, b float64) float64 {
-	if b == 0 {
-		return 0
-	}
-	return a / b
-}
-
 // E15 regenerates the interruption↔consumption correlation: per-user
 // core-hours vs system interrupts.
 func E15(env *Env) (*Result, error) {
-	cls := env.ClassifyByExit()
-	res, err := env.D.InterruptsByUser(cls)
+	res, err := env.Interrupts()
 	if err != nil {
 		return nil, err
 	}

@@ -68,7 +68,18 @@ func (j *Job) Runtime() time.Duration { return j.End.Sub(j.Start) }
 // QueueWait returns how long the job waited between submission and start.
 func (j *Job) QueueWait() time.Duration { return j.Start.Sub(j.Submit) }
 
+// CoreSeconds returns the consumed core-seconds (nodes × 16 cores ×
+// runtime) as an exact integer. Integer core-seconds are the canonical
+// accumulator for corpus-wide consumption sums: integer addition is
+// order-insensitive, so sharded scans merge to bit-identical totals.
+func (j *Job) CoreSeconds() int64 {
+	return int64(j.Nodes) * 16 * int64(j.Runtime()/time.Second)
+}
+
 // CoreHours returns the consumed core-hours (nodes × 16 cores × runtime).
+// Not defined as CoreSeconds()/3600: the float expression below rounds
+// differently in the last bit for some jobs, and the simulator feeds it
+// into draws, so redefining it would change generated corpora.
 func (j *Job) CoreHours() float64 {
 	return float64(j.Nodes) * 16 * j.Runtime().Hours()
 }
@@ -128,6 +139,49 @@ func FailureFamilies() []ExitFamily {
 		FamilyError, FamilyConfig, FamilyAbort, FamilyKilled,
 		FamilySegfault, FamilyTerm, FamilySystem, FamilyOther,
 	}
+}
+
+// NumFamilies is the number of distinct exit families: success plus the
+// eight failure families.
+const NumFamilies = 9
+
+// familyCodes assigns each family its dense code: 0 is success, 1..8 follow
+// FailureFamilies order. codeFamilies is the inverse table.
+var (
+	familyCodes = map[ExitFamily]uint8{
+		FamilySuccess: 0, FamilyError: 1, FamilyConfig: 2, FamilyAbort: 3,
+		FamilyKilled: 4, FamilySegfault: 5, FamilyTerm: 6, FamilySystem: 7,
+		FamilyOther: 8,
+	}
+	codeFamilies = [NumFamilies]ExitFamily{
+		FamilySuccess, FamilyError, FamilyConfig, FamilyAbort, FamilyKilled,
+		FamilySegfault, FamilyTerm, FamilySystem, FamilyOther,
+	}
+)
+
+// FamilyCode returns the dense code of f (see NumFamilies). Unknown family
+// strings map to the FamilyOther code.
+func FamilyCode(f ExitFamily) uint8 {
+	c, ok := familyCodes[f]
+	if !ok {
+		return familyCodes[FamilyOther]
+	}
+	return c
+}
+
+// FamilyCodeOf returns the dense family code of an exit status:
+// FamilyCode(Family(exitStatus)).
+func FamilyCodeOf(exitStatus int) uint8 {
+	return FamilyCode(Family(exitStatus))
+}
+
+// FamilyOfCode returns the family for a dense code; out-of-range codes map
+// to FamilyOther.
+func FamilyOfCode(c uint8) ExitFamily {
+	if int(c) >= NumFamilies {
+		return FamilyOther
+	}
+	return codeFamilies[c]
 }
 
 // header is the CSV schema for job logs.

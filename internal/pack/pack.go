@@ -47,6 +47,7 @@ import (
 	"repro/internal/iolog"
 	"repro/internal/joblog"
 	"repro/internal/raslog"
+	"repro/internal/scan"
 	"repro/internal/tasklog"
 )
 
@@ -234,6 +235,8 @@ func Unmarshal(data []byte) (*core.Dataset, error) {
 	var events []raslog.Event
 	var ioRecs []iolog.Record
 	var snap core.IndexSnapshot
+	var jv *scan.JobView
+	var ev *scan.EventView
 	// Events first: it needs the widest scratch, so every later section
 	// decodes inside the arena the events pass already paid for.
 	var a arena
@@ -241,8 +244,8 @@ func Unmarshal(data []byte) (*core.Dataset, error) {
 		id  uint32
 		run func(payload []byte) error
 	}{
-		{secEvents, func(p []byte) (err error) { events, err = decodeEvents(p, &a); return }},
-		{secJobs, func(p []byte) (err error) { jobs, err = decodeJobs(p, &a); return }},
+		{secEvents, func(p []byte) (err error) { events, ev, err = decodeEvents(p, &a, true); return }},
+		{secJobs, func(p []byte) (err error) { jobs, jv, err = decodeJobs(p, &a); return }},
 		{secTasks, func(p []byte) (err error) { tasks, err = decodeTasks(p, &a); return }},
 		{secIO, func(p []byte) (err error) { ioRecs, err = decodeIO(p, &a); return }},
 		{secIndexes, func(p []byte) (err error) { snap, err = decodeIndexes(p); return }},
@@ -257,6 +260,9 @@ func Unmarshal(data []byte) (*core.Dataset, error) {
 	}
 	d, err := core.NewDatasetFromSnapshot(jobs, tasks, events, ioRecs, snap)
 	if err != nil {
+		return nil, fmt.Errorf("pack: %w", err)
+	}
+	if err := d.AdoptViews(jv, ev); err != nil {
 		return nil, fmt.Errorf("pack: %w", err)
 	}
 	return d, nil
@@ -288,7 +294,8 @@ func UnmarshalEvents(data []byte) ([]raslog.Event, error) {
 	if err != nil {
 		return nil, err
 	}
-	return decodeEvents(payload, &arena{})
+	events, _, err := decodeEvents(payload, &arena{}, false)
+	return events, err
 }
 
 // ReadEventsFile loads only the RAS events from a snapshot file.

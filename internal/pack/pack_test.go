@@ -195,6 +195,14 @@ func TestRoundTripDatasetEqual(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			// Force the scan column views on both sides: the source builds
+			// them lazily from the AoS logs, the decoded side adopted them
+			// from the stored columns — the deep-equal then also pins the
+			// two construction paths to identical views.
+			tc.d.JobView()
+			tc.d.EventView()
+			back.JobView()
+			back.EventView()
 			if !reflect.DeepEqual(tc.d, back) {
 				t.Fatal("dataset differs after pack round trip")
 			}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/joblog"
 	"repro/internal/machine"
 	"repro/internal/raslog"
+	"repro/internal/scan"
 	"repro/internal/tasklog"
 )
 
@@ -73,8 +74,15 @@ func encodeJobs(jobs []joblog.Job) []byte {
 	return w.buf
 }
 
+// decodeJobs decodes the jobs section and, as a by-product of the same
+// column pass, the scan.JobView column mirror: the stored dictionaries
+// assign ids in first-appearance order — exactly the order the lazy
+// core.BuildJobView interning would — so the dict indexes and tables are
+// reused as the view's id columns verbatim. The view copies every column it
+// keeps (scratch is arena-shared across sections).
+//
 //mira:hotpath
-func decodeJobs(payload []byte, a *arena) ([]joblog.Job, error) {
+func decodeJobs(payload []byte, a *arena) ([]joblog.Job, *scan.JobView, error) {
 	r := &sectionReader{name: "jobs", b: payload}
 	n := r.count("row")
 	scratch := a.take(5 * n)
@@ -101,9 +109,28 @@ func decodeJobs(payload []byte, a *arena) ([]joblog.Job, error) {
 	r.varints32Into(numTasks, 1<<31, "task count")
 	r.varintsInto(exit)
 	if err := r.done(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
+	var v *scan.JobView
+	if n > 0 {
+		v = &scan.JobView{
+			N:          n,
+			ID:         make([]int64, n),
+			SubmitUnix: make([]int64, n),
+			StartUnix:  make([]int64, n),
+			EndUnix:    make([]int64, n),
+			DurSec:     make([]int64, n),
+			Nodes:      make([]int32, n),
+			CoreSec:    make([]int64, n),
+			Exit:       make([]int32, n),
+			Family:     make([]uint8, n),
+			UserID:     make([]int32, n),
+			ProjectID:  make([]int32, n),
+			Users:      users,
+			Projects:   projects,
+		}
+	}
 	jobs := make([]joblog.Job, n)
 	for i := range jobs {
 		j := &jobs[i]
@@ -119,8 +146,22 @@ func decodeJobs(payload []byte, a *arena) ([]joblog.Job, error) {
 		j.RanksPerNode = int(ranks[i])
 		j.NumTasks = int(numTasks[i])
 		j.ExitStatus = int(exit[i])
+		if v != nil {
+			dur := end[i] - start[i]
+			v.ID[i] = id[i]
+			v.SubmitUnix[i] = submit[i]
+			v.StartUnix[i] = start[i]
+			v.EndUnix[i] = end[i]
+			v.DurSec[i] = dur
+			v.Nodes[i] = nodes[i]
+			v.CoreSec[i] = int64(nodes[i]) * 16 * dur
+			v.Exit[i] = int32(exit[i])
+			v.Family[i] = joblog.FamilyCodeOf(int(exit[i]))
+			v.UserID[i] = user[i]
+			v.ProjectID[i] = project[i]
+		}
 	}
-	return jobs, nil
+	return jobs, v, nil
 }
 
 //mira:frozen
@@ -205,8 +246,13 @@ func encodeEvents(events []raslog.Event) []byte {
 	return w.buf
 }
 
+// decodeEvents decodes the events section; with wantView it also fills the
+// scan.EventView column mirror in the same materialization pass, reusing
+// the first-appearance dict indexes as category/component ids and the
+// cached per-code location decode for the dense midplane/rack id columns.
+//
 //mira:hotpath
-func decodeEvents(payload []byte, a *arena) ([]raslog.Event, error) {
+func decodeEvents(payload []byte, a *arena, wantView bool) ([]raslog.Event, *scan.EventView, error) {
 	r := &sectionReader{name: "events", b: payload}
 	n := r.count("row")
 
@@ -246,23 +292,41 @@ func decodeEvents(payload []byte, a *arena) ([]raslog.Event, error) {
 	msgs := r.dictTable()
 	r.dictIndexes32Into(msg, len(msgs))
 	if err := r.done(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
+	var v *scan.EventView
+	if wantView && n > 0 {
+		v = &scan.EventView{
+			N:          n,
+			TimeUnix:   make([]int64, n),
+			Sev:        make([]uint8, n),
+			CatID:      make([]int32, n),
+			CompID:     make([]int32, n),
+			MidplaneID: make([]int32, n),
+			RackID:     make([]int32, n),
+			Cats:       cats,
+			Comps:      comps,
+		}
+	}
 	// Location codes are high-cardinality (events land on any of 49k
 	// nodes), so a decoded-code cache would miss more than it hits; the
 	// bit-field decode is cheap enough to run per changed code.
 	lastCode := int32(-1)
 	var lastLoc machine.Location
+	lastMid, lastRack := int32(-1), int32(-1)
 	events := make([]raslog.Event, n)
 	for i := range events {
 		if code := loc[i]; code != lastCode {
 			l, err := machine.LocationFromCode(uint32(code))
 			if err != nil {
-				return nil, r.errf("%v", err)
+				return nil, nil, r.errf("%v", err)
 			}
 			lastLoc = l
 			lastCode = code
+			if v != nil {
+				lastMid, lastRack = core.LocIDs(l)
+			}
 		}
 		e := &events[i]
 		e.RecID = recID[i]
@@ -275,8 +339,16 @@ func decodeEvents(payload []byte, a *arena) ([]raslog.Event, error) {
 		e.JobID = jobID[i]
 		e.Count = int(count[i])
 		e.Message = msgs[msg[i]]
+		if v != nil {
+			v.TimeUnix[i] = when[i]
+			v.Sev[i] = uint8(sev[i])
+			v.CatID[i] = cat[i]
+			v.CompID[i] = comp[i]
+			v.MidplaneID[i] = lastMid
+			v.RackID[i] = lastRack
+		}
 	}
-	return events, nil
+	return events, v, nil
 }
 
 //mira:frozen

@@ -3,7 +3,7 @@ package stats
 import (
 	"errors"
 	"math"
-	"sort"
+	"slices"
 )
 
 // ErrLengthMismatch is returned when paired samples differ in length.
@@ -33,26 +33,115 @@ func Pearson(x, y []float64) (float64, error) {
 }
 
 // ranks assigns fractional ranks (average rank for ties), 1-based.
+//
+// The sort runs over flat (value, index) pairs instead of an index slice
+// with an indirect comparator: same ordering by value, no pointer chase per
+// comparison. Tied values all receive the same average rank, so the rank
+// vector is a pure function of the values — the order a sort leaves equal
+// elements in cannot affect the output.
 func ranks(x []float64) []float64 {
 	n := len(x)
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
+	if r, ok := ranksSmallDomain(x); ok {
+		return r
 	}
-	sort.Slice(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	type pair struct {
+		v float64
+		i int32
+	}
+	ps := make([]pair, n)
+	for i := range ps {
+		ps[i] = pair{x[i], int32(i)}
+	}
+	slices.SortFunc(ps, func(a, b pair) int {
+		switch {
+		case a.v < b.v:
+			return -1
+		case a.v > b.v:
+			return 1
+		default:
+			return 0
+		}
+	})
 	r := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
-		for j+1 < n && x[idx[j+1]] == x[idx[i]] {
+		for j+1 < n && ps[j+1].v == ps[i].v {
 			j++
 		}
 		avg := (float64(i+1) + float64(j+1)) / 2
 		for k := i; k <= j; k++ {
-			r[idx[k]] = avg
+			r[ps[k].i] = avg
 		}
 		i = j + 1
 	}
 	return r
+}
+
+// maxRankDomain bounds the small-domain rank fast path: samples drawn from
+// at most this many distinct values (0/1 failure indicators, schedulable
+// block sizes, task counts) rank in O(n) without sorting.
+const maxRankDomain = 16
+
+// ranksSmallDomain ranks a sample with at most maxRankDomain distinct
+// values in O(n·domain): it tallies the count of each distinct value, and a
+// value whose cnt occurrences would occupy sorted positions
+// prefix+1..prefix+cnt gets the average rank (prefix+1 + prefix+cnt)/2 —
+// the sorted path's (first+last)/2 formula on the same integers, so the
+// output is bit-identical to it. Returns ok=false (falling back to the
+// sort) on a larger domain or any NaN, whose grouping the general path
+// defines.
+func ranksSmallDomain(x []float64) ([]float64, bool) {
+	n := len(x)
+	if n == 0 {
+		return make([]float64, 0), true
+	}
+	var vals [maxRankDomain]float64
+	var cnts [maxRankDomain]int
+	nd := 0
+collect:
+	for _, v := range x {
+		if v != v {
+			return nil, false
+		}
+		for j := 0; j < nd; j++ {
+			if vals[j] == v {
+				cnts[j]++
+				continue collect
+			}
+		}
+		if nd == maxRankDomain {
+			return nil, false
+		}
+		vals[nd] = v
+		cnts[nd] = 1
+		nd++
+	}
+	// Insertion-sort the distinct values (nd ≤ 16), counts in tow.
+	for i := 1; i < nd; i++ {
+		v, c := vals[i], cnts[i]
+		j := i - 1
+		for j >= 0 && vals[j] > v {
+			vals[j+1], cnts[j+1] = vals[j], cnts[j]
+			j--
+		}
+		vals[j+1], cnts[j+1] = v, c
+	}
+	var avg [maxRankDomain]float64
+	prefix := 0
+	for j := 0; j < nd; j++ {
+		avg[j] = (float64(prefix+1) + float64(prefix+cnts[j])) / 2
+		prefix += cnts[j]
+	}
+	r := make([]float64, n)
+	for i, v := range x {
+		for j := 0; j < nd; j++ {
+			if vals[j] == v {
+				r[i] = avg[j]
+				break
+			}
+		}
+	}
+	return r, true
 }
 
 // Spearman returns Spearman's rank correlation ρ of the paired samples,

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 )
 
@@ -90,6 +91,78 @@ func TestRanks(t *testing.T) {
 		if r[i] != want[i] {
 			t.Errorf("ranks = %v, want %v", r, want)
 			break
+		}
+	}
+}
+
+// TestRanksSmallDomainMatchesSort pins the O(n) small-domain fast path to
+// the sorted general path bit for bit: random samples drawn from small
+// value domains (which take the fast path) must rank identically to a
+// reference built by sorting indices, and inputs that exceed the domain
+// bound or contain NaN must decline the fast path.
+func TestRanksSmallDomainMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	reference := func(x []float64) []float64 {
+		idx := make([]int, len(x))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+		r := make([]float64, len(x))
+		for i := 0; i < len(idx); {
+			j := i
+			for j+1 < len(idx) && x[idx[j+1]] == x[idx[i]] {
+				j++
+			}
+			avg := (float64(i+1) + float64(j+1)) / 2
+			for k := i; k <= j; k++ {
+				r[idx[k]] = avg
+			}
+			i = j + 1
+		}
+		return r
+	}
+	domains := [][]float64{
+		{0, 1},
+		{512, 1024, 2048, 4096, 8192},
+		{-1.5, 0, 2.25, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53},
+		{42},
+	}
+	for di, domain := range domains {
+		x := make([]float64, 999)
+		for i := range x {
+			x[i] = domain[rng.Intn(len(domain))]
+		}
+		fast, ok := ranksSmallDomain(x)
+		if !ok {
+			t.Fatalf("domain %d: fast path declined %d distinct values", di, len(domain))
+		}
+		want := reference(x)
+		for i := range want {
+			if fast[i] != want[i] {
+				t.Fatalf("domain %d: rank[%d] = %v, want %v", di, i, fast[i], want[i])
+			}
+		}
+	}
+	// A continuous sample exceeds the domain bound; NaN declines outright.
+	wide := make([]float64, 100)
+	for i := range wide {
+		wide[i] = rng.NormFloat64()
+	}
+	if _, ok := ranksSmallDomain(wide); ok {
+		t.Error("fast path accepted a continuous sample")
+	}
+	if _, ok := ranksSmallDomain([]float64{1, math.NaN(), 2}); ok {
+		t.Error("fast path accepted NaN")
+	}
+	// And the public ranks() agrees with the reference either way.
+	for _, x := range [][]float64{wide, {3, 1, 4, 1, 5, 9, 2, 6}} {
+		got := ranks(x)
+		want := reference(x)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("ranks[%d] = %v, want %v", i, got[i], want[i])
+			}
 		}
 	}
 }

@@ -38,9 +38,65 @@ func Summarize(data []float64) (Summary, error) {
 	if len(data) == 0 {
 		return Summary{}, ErrEmpty
 	}
+	return SummarizeSorted(sortedCopy(data))
+}
+
+// sortedCopy returns an ascending-sorted copy of data. Samples over a small
+// value domain (schedulable block sizes, task counts) skip the comparison
+// sort: the sorted array is rebuilt as runs of each distinct value, which
+// yields the exact same bits as sorting — among equal-comparing float64s
+// only ±0 and NaNs differ in representation, and those decline the fast
+// path.
+func sortedCopy(data []float64) []float64 {
 	sorted := append([]float64(nil), data...)
-	sort.Float64s(sorted)
-	return SummarizeSorted(sorted)
+	if !sortSmallDomain(sorted) {
+		sort.Float64s(sorted)
+	}
+	return sorted
+}
+
+// sortSmallDomain sorts x in place and reports true when x is drawn from at
+// most maxRankDomain distinct values, none NaN or negative zero; otherwise
+// it leaves x untouched and reports false.
+func sortSmallDomain(x []float64) bool {
+	var vals [maxRankDomain]float64
+	var cnts [maxRankDomain]int
+	nd := 0
+collect:
+	for _, v := range x {
+		if v != v || (v == 0 && math.Signbit(v)) {
+			return false
+		}
+		for j := 0; j < nd; j++ {
+			if vals[j] == v {
+				cnts[j]++
+				continue collect
+			}
+		}
+		if nd == maxRankDomain {
+			return false
+		}
+		vals[nd] = v
+		cnts[nd] = 1
+		nd++
+	}
+	for i := 1; i < nd; i++ {
+		v, c := vals[i], cnts[i]
+		j := i - 1
+		for j >= 0 && vals[j] > v {
+			vals[j+1], cnts[j+1] = vals[j], cnts[j]
+			j--
+		}
+		vals[j+1], cnts[j+1] = v, c
+	}
+	pos := 0
+	for j := 0; j < nd; j++ {
+		for k := 0; k < cnts[j]; k++ {
+			x[pos] = vals[j]
+			pos++
+		}
+	}
+	return true
 }
 
 // SummarizeSorted computes a Summary of an ascending-sorted sample without
@@ -104,9 +160,7 @@ func Quantile(data []float64, p float64) (float64, error) {
 	if len(data) == 0 {
 		return 0, ErrEmpty
 	}
-	sorted := append([]float64(nil), data...)
-	sort.Float64s(sorted)
-	return quantileSorted(sorted, p), nil
+	return quantileSorted(sortedCopy(data), p), nil
 }
 
 // quantileSorted computes the type-7 quantile of an already-sorted sample.
@@ -136,8 +190,7 @@ func Quantiles(data []float64, ps []float64) ([]float64, error) {
 	if len(data) == 0 {
 		return nil, ErrEmpty
 	}
-	sorted := append([]float64(nil), data...)
-	sort.Float64s(sorted)
+	sorted := sortedCopy(data)
 	out := make([]float64, len(ps))
 	for i, p := range ps {
 		out[i] = quantileSorted(sorted, p)

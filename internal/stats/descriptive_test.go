@@ -3,6 +3,8 @@ package stats
 import (
 	"errors"
 	"math"
+	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -43,6 +45,55 @@ func TestMeanVarianceStd(t *testing.T) {
 	}
 	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance(nil)) {
 		t.Error("empty mean/variance should be NaN")
+	}
+}
+
+// TestSortSmallDomainMatchesSort pins the run-reconstruction sort to
+// sort.Float64s bit for bit on small-domain samples, and checks that wide,
+// NaN and negative-zero inputs decline the fast path untouched.
+func TestSortSmallDomainMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	domain := []float64{512, 1024, 2048, 4096, 8192, 16384, 32768, 49152}
+	x := make([]float64, 777)
+	for i := range x {
+		x[i] = domain[rng.Intn(len(domain))]
+	}
+	want := append([]float64(nil), x...)
+	sort.Float64s(want)
+	got := append([]float64(nil), x...)
+	if !sortSmallDomain(got) {
+		t.Fatal("fast path declined an 8-value domain")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	wide := make([]float64, 100)
+	for i := range wide {
+		wide[i] = rng.NormFloat64()
+	}
+	seventeen := make([]float64, 17)
+	for i := range seventeen {
+		seventeen[i] = float64(i)
+	}
+	for name, bad := range map[string][]float64{
+		"nan":      {3, math.NaN(), 2},
+		"negzero":  {3, math.Copysign(0, -1), 2},
+		"wide":     wide,
+		"17values": seventeen,
+	} {
+		orig := append([]float64(nil), bad...)
+		if sortSmallDomain(bad) {
+			t.Errorf("%s: fast path accepted the sample", name)
+			continue
+		}
+		for i := range orig {
+			same := bad[i] == orig[i] || (math.IsNaN(bad[i]) && math.IsNaN(orig[i]))
+			if !same {
+				t.Errorf("%s: declined input mutated at %d", name, i)
+			}
+		}
 	}
 }
 

@@ -3,7 +3,7 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Observation is one subject of a survival analysis: a duration and
@@ -42,7 +42,20 @@ func KaplanMeier(obs []Observation) ([]SurvivalPoint, error) {
 			return nil, fmt.Errorf("stats: negative or NaN survival time %v", o.Time)
 		}
 	}
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+	// Sort by time with the generic sorter (no reflection per swap). The
+	// estimator aggregates events and censorings per unique time, so the
+	// order equal times land in cannot affect the curve; NaNs were rejected
+	// above.
+	slices.SortFunc(sorted, func(a, b Observation) int {
+		switch {
+		case a.Time < b.Time:
+			return -1
+		case a.Time > b.Time:
+			return 1
+		default:
+			return 0
+		}
+	})
 
 	var curve []SurvivalPoint
 	surv := 1.0

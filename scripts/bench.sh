@@ -13,8 +13,10 @@
 # comparisons in internal/raslog (alloc_reduction metric), the
 # filter-sweep speedup comparison in internal/core (speedup metric), the
 # LoadCSV/LoadPack corpus-load comparison in internal/pack (speedup
-# metric), and the FitLegacy/FitSample model-selection comparison in
-# internal/dist (speedup metric).
+# metric), the FitLegacy/FitSample model-selection comparison in
+# internal/dist (speedup metric), and the headline fused-vs-legacy suite
+# comparison Benchmark_RunAll_{Legacy,Fused} at the repo root (speedup
+# metric, measured against a median legacy reference pass — DESIGN.md §13).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,6 +32,11 @@ if [[ "${BENCH_FULL:-0}" == "1" ]]; then
 fi
 
 raw="$(go test -bench=. -benchmem -count=1 -run '^$' "${pkgs[@]}")"
+if [[ "${BENCH_FULL:-0}" != "1" ]]; then
+  # The full run covers the repo root already; otherwise run just the
+  # paired E1–E23 suite comparison with a bounded iteration count.
+  raw+=$'\n'"$(go test -bench 'Benchmark_RunAll_(Legacy|Fused)$' -benchmem -benchtime=10x -count=1 -run '^$' .)"
+fi
 echo "$raw"
 go run ./scripts/benchjson -out "$out" -sha "$sha" <<<"$raw"
 echo "wrote $out"
