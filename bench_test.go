@@ -11,6 +11,7 @@ package repro
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"runtime"
 	"slices"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/raslog"
 	"repro/internal/sched"
+	"repro/internal/sel"
 	"repro/internal/sim"
 )
 
@@ -280,6 +282,78 @@ func benchRunAllCold(b *testing.B, legacy bool) {
 		run(legacy)
 	}
 	reportSpeedup(b, legacyTime)
+}
+
+// Paired cohort-query benchmarks (DESIGN.md §14). One iteration answers a
+// sweep of monthly cohort queries — each window constrains both job submit
+// times and event times — either by materializing the filtered dataset and
+// scanning it (the pre-index path) or by pushing the compiled bitmap
+// selections straight into the fused scan. Both report "speedup" against a
+// median materialize reference pass, so the Materialize variant sits near
+// 1.0 by construction and the Where variant shows the pushdown win. The
+// core equivalence suite proves the two paths produce identical profiles.
+
+func Benchmark_CohortSweep_Materialize(b *testing.B) { benchCohortSweep(b, true) }
+func Benchmark_CohortSweep_Where(b *testing.B)       { benchCohortSweep(b, false) }
+
+// cohortSweepExprs builds the monthly submit+time window predicates over
+// the shared corpus' span.
+func cohortSweepExprs(b *testing.B, d *core.Dataset) []sel.Expr {
+	b.Helper()
+	start, end := d.Span()
+	var exprs []sel.Expr
+	for lo := start; lo.Before(end); lo = lo.AddDate(0, 1, 0) {
+		hi := lo.AddDate(0, 1, 0)
+		a, z := lo.Format("2006-01-02"), hi.Format("2006-01-02")
+		e, err := sel.Parse(fmt.Sprintf(
+			"submit >= %s and submit < %s and time >= %s and time < %s", a, z, a, z))
+		if err != nil {
+			b.Fatal(err)
+		}
+		exprs = append(exprs, e)
+	}
+	return exprs
+}
+
+func benchCohortSweep(b *testing.B, materialize bool) {
+	d := sharedEnv(b).D
+	exprs := cohortSweepExprs(b, d)
+	run := func(materialize bool) {
+		for _, e := range exprs {
+			var p *core.FusedProfile
+			var err error
+			if materialize {
+				var md *core.Dataset
+				if md, err = d.MaterializeWhere(e); err == nil {
+					p, err = md.FusedScan(1)
+				}
+			} else {
+				p, err = d.FusedScanWhere(e, 1)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			if p.Summary.Jobs == 0 {
+				b.Fatal("empty cohort window")
+			}
+		}
+	}
+	// Median of three materialize passes is the reference; the passes also
+	// warm the compiled-selection cache both variants share.
+	passes := make([]time.Duration, 3)
+	for i := range passes {
+		passes[i] = timeOnce(b, func() { run(true) })
+	}
+	slices.Sort(passes)
+	ref := passes[1]
+	run(materialize)
+	runtime.GC()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(materialize)
+	}
+	reportSpeedup(b, ref)
 }
 
 // timeOnce times a single serial pass outside the benchmark timer, for the

@@ -6,10 +6,16 @@
 //
 //	mirafilter -in ras.csv|corpus.mirapack [-format auto|csv|pack]
 //	           [-window 20m] [-level midplane] [-by-message] [-severity FATAL]
+//	           [-where 'cat == Memory and rack == R01']
 //
 // The input may be a RAS CSV log (streamed row by row) or a corpus.mirapack
 // binary snapshot (events section decoded in one step, no parse); -format
 // auto sniffs the file's magic bytes.
+//
+// -where further restricts the events entering the filter with an
+// event-column predicate (sev, cat, comp, midplane, rack, time — the same
+// grammar as mirareport -where), evaluated through the bitmap selection
+// indexes of DESIGN.md §14.
 //
 // Output columns: first_unix, last_unix, events, location, msg_id,
 // category, job_ids (semicolon-separated).
@@ -28,6 +34,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/pack"
 	"repro/internal/raslog"
+	"repro/internal/sel"
 )
 
 func main() {
@@ -44,6 +51,7 @@ func run() error {
 	level := flag.String("level", "midplane", "spatial similarity level: system|rack|midplane|node-board|node")
 	byMsg := flag.Bool("by-message", true, "require identical message IDs (false: same category)")
 	sevName := flag.String("severity", "FATAL", "severity to filter: FATAL|WARN|INFO")
+	where := flag.String("where", "", "event-column predicate restricting the events entering the filter")
 	flag.Parse()
 	if *in == "" {
 		return fmt.Errorf("-in is required")
@@ -64,6 +72,11 @@ func run() error {
 	events, total, err := readSeverity(*in, *format, sev)
 	if err != nil {
 		return err
+	}
+	if *where != "" {
+		if events, err = applyWhere(events, *where); err != nil {
+			return err
+		}
 	}
 	incidents, err := core.FilterBySeverity(events, sev, rule)
 	if err != nil {
@@ -99,6 +112,26 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "read %d events, %d %s; emitted %d incidents (%.1fx reduction)\n",
 		total, len(events), sev, len(incidents), reduction(len(events), len(incidents)))
 	return nil
+}
+
+// applyWhere keeps the events a -where predicate selects. The column view
+// and its indexes are transient (one CLI run, one query), built through
+// the same compiler mirareport's cohort path uses.
+func applyWhere(events []raslog.Event, where string) ([]raslog.Event, error) {
+	expr, err := sel.Parse(where)
+	if err != nil {
+		return nil, err
+	}
+	b, err := core.SelectEventsView(core.BuildEventView(events), expr)
+	if err != nil {
+		return nil, err
+	}
+	kept := make([]raslog.Event, 0, b.Cardinality())
+	b.Iterate(func(row uint32) bool {
+		kept = append(kept, events[row])
+		return true
+	})
+	return kept, nil
 }
 
 // readSeverity returns the matching-severity events from a RAS CSV log or

@@ -5,7 +5,8 @@
 //
 //	mirapack -in corpus/                  convert CSVs -> corpus/corpus.mirapack
 //	mirapack -in corpus/ -out snap.mirapack
-//	mirapack -info -in corpus/            print header, sections and checksums
+//	mirapack -info -in corpus/            print header, sections, checksums
+//	                                      and selection-index statistics
 //	mirapack -verify -in snap.mirapack    fully decode and report row counts
 //
 // -in accepts either a corpus directory (the snapshot is resolved to
@@ -92,6 +93,19 @@ func printInfo(path string) error {
 	fmt.Printf("%-10s %12s %10s\n", "section", "bytes", "crc32")
 	for _, s := range inf.Sections {
 		fmt.Printf("%-10s %12d   %08x\n", s.Name, s.Bytes, s.CRC)
+	}
+
+	// Selection-index report: decode the snapshot and build the per-column
+	// bitmap indexes the -where predicates compile against, so operators can
+	// see each dimension's cardinality and compressed footprint up front.
+	d, err := pack.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nselection indexes (see mirareport -where)\n")
+	fmt.Printf("%-6s %-10s %8s %12s %12s\n", "table", "column", "keys", "rows", "bytes")
+	for _, s := range d.IndexStats() {
+		fmt.Printf("%-6s %-10s %8d %12d %12d\n", s.Domain, s.Column, s.Keys, s.Rows, s.Bytes)
 	}
 	return nil
 }

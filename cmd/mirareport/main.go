@@ -5,8 +5,8 @@
 // Usage:
 //
 //	mirareport [-in corpus/] [-format auto|csv|pack] [-days 2001] [-seed 1]
-//	           [-exp E6] [-takeaways] [-csv out/]
-//	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	           [-exp E6] [-takeaways] [-where 'user == u042 and sev == FATAL']
+//	           [-csv out/] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Without -in, a corpus is generated with the default (or overridden)
 // configuration. With -in, the corpus.mirapack binary snapshot is preferred
@@ -14,6 +14,12 @@
 // the four CSV files, -format pack requires the snapshot. Without -exp,
 // every experiment runs. -csv additionally dumps every figure as a CSV
 // series for plotting.
+//
+// -where restricts the report to a cohort: the predicate compiles to
+// bitmap selections that push down into the fused scan engine (DESIGN.md
+// §14), so the cohort profile prints without materializing a filtered
+// corpus. Job columns: user, project, exit, nodes, dur, submit. Event
+// columns: sev, cat, comp, midplane, rack, time.
 package main
 
 import (
@@ -27,7 +33,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/joblog"
 	"repro/internal/pack"
+	"repro/internal/report"
 	"repro/internal/sim"
 )
 
@@ -46,6 +54,7 @@ func run() error {
 	small := flag.Bool("small", false, "generate the fast 30-day corpus")
 	expID := flag.String("exp", "", "run a single experiment (E1..E22)")
 	takeaways := flag.Bool("takeaways", false, "print only the 22-takeaway report")
+	where := flag.String("where", "", "print the cohort profile this predicate selects and exit (e.g. 'exit != success and nodes >= 1024')")
 	list := flag.Bool("list", false, "list the experiments and exit")
 	csvDir := flag.String("csv", "", "also dump figure/table CSVs into this directory")
 	parallelism := flag.Int("parallelism", 0, "worker bound for corpus generation and the experiment suite (0 = all cores, 1 = serial; results are identical)")
@@ -93,6 +102,9 @@ func run() error {
 	}
 	env.Legacy = *legacy
 
+	if *where != "" {
+		return printCohort(env, *where)
+	}
 	if *takeaways {
 		return printTakeaways(env.D)
 	}
@@ -171,6 +183,54 @@ func buildEnv(in, format string, days int, seed int64, small bool, parallelism i
 	env := experiments.NewEnvFromDataset(d)
 	env.Parallelism = parallelism
 	return env, nil
+}
+
+// printCohort renders the fused profile of the cohort a -where predicate
+// selects: the Table-I summary restricted to the cohort, its exit-family
+// breakdown, and the heaviest users inside it.
+func printCohort(env *experiments.Env, where string) error {
+	p, err := env.CohortProfile(where)
+	if err != nil {
+		return err
+	}
+	s := p.Summary
+	st := &report.Table{Title: "cohort summary: " + where, Columns: []string{"metric", "value"}}
+	st.AddRow("days", fmt.Sprintf("%.1f", s.Days))
+	st.AddRow("jobs", s.Jobs)
+	st.AddRow("tasks", s.Tasks)
+	st.AddRow("users", s.Users)
+	st.AddRow("projects", s.Projects)
+	st.AddRow("core-hours", fmt.Sprintf("%.0f", s.CoreHours))
+	st.AddRow("failed jobs", s.FailedJobs)
+	st.AddRow("success jobs", s.SuccessJobs)
+	st.AddRow("RAS events", s.RASTotal)
+	st.AddRow("RAS fatal", s.RASFatal)
+	st.AddRow("RAS warn", s.RASWarn)
+	st.AddRow("I/O records", s.IORecords)
+	if err := st.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	ft := &report.Table{Title: "cohort exit families", Columns: []string{"family", "failed jobs"}}
+	for c := 1; c < joblog.NumFamilies; c++ {
+		if n := p.Exit.ByFamily[c]; n > 0 {
+			ft.AddRow(string(joblog.FamilyOfCode(uint8(c))), n)
+		}
+	}
+	if err := ft.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	ut := &report.Table{Title: "cohort top users", Columns: []string{"user", "jobs", "failed", "core-hours"}}
+	for i, g := range p.UserGroups {
+		if i >= 10 {
+			break
+		}
+		ut.AddRow(g.Key, g.Jobs, g.Failed, fmt.Sprintf("%.0f", g.CoreHours))
+	}
+	return ut.Render(os.Stdout)
 }
 
 func printTakeaways(d *core.Dataset) error {

@@ -1,0 +1,47 @@
+package bitmap
+
+import "testing"
+
+// The selection hot path — re-evaluating a predicate into warm scratch
+// bitmaps and walking blocks — must not allocate. These pins guard the
+// container-reuse contracts that //mira:hotpath promises.
+
+func TestWarmOpsAllocFree(t *testing.T) {
+	a, b := New(), New()
+	for v := uint32(0); v < 200000; v += 3 {
+		a.Add(v)
+	}
+	b.AddRange(50000, 150000)
+	b.Optimize()
+	dst := New()
+	for _, op := range []struct {
+		name string
+		f    func()
+	}{
+		{"And", func() { dst.And(a, b) }},
+		{"Or", func() { dst.Or(a, b) }},
+		{"AndNot", func() { dst.AndNot(a, b) }},
+	} {
+		op.f() // warm dst's container storage
+		if allocs := testing.AllocsPerRun(20, op.f); allocs != 0 {
+			t.Errorf("warm %s: %v allocs/op, want 0", op.name, allocs)
+		}
+	}
+}
+
+func TestAppendBlockRunsAllocFree(t *testing.T) {
+	b := New()
+	for v := uint32(0); v < 1<<17; v += 5 {
+		b.Add(v)
+	}
+	runs := make([]Run, 0, 2048)
+	f := func() {
+		for lo := 0; lo < 1<<17; lo += 2048 {
+			runs = b.AppendBlockRuns(runs[:0], lo, lo+2048)
+		}
+	}
+	f()
+	if allocs := testing.AllocsPerRun(10, f); allocs != 0 {
+		t.Errorf("warm AppendBlockRuns sweep: %v allocs/op, want 0", allocs)
+	}
+}

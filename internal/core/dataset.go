@@ -86,6 +86,12 @@ type Dataset struct {
 	warnKeyOnce  sync.Once
 	warnKeys     internedKeys
 
+	// Selection machinery: per-dimension bitmap indexes over the column
+	// views plus the compiled-predicate cache, built lazily on the first
+	// SelectJobs/SelectEvents/FusedScanWhere call (selindex.go).
+	selOnce sync.Once
+	selx    *selIndexes
+
 	start, end time.Time
 }
 

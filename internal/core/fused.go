@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/bitmap"
 	"repro/internal/machine"
 	"repro/internal/scan"
 )
@@ -14,6 +15,9 @@ import (
 // Profile, Temporal, Waste, Locality and InterruptsByUser.
 type FusedProfile struct {
 	jv *scan.JobView
+	// jobSel is the cohort's job selection when the profile came from
+	// FusedScanWhere; nil means the whole corpus.
+	jobSel *bitmap.Bitmap
 
 	Summary Summary
 	// Exit and Joint are the exit-status-only and RAS-correlated failure
@@ -65,17 +69,21 @@ func (p *FusedProfile) Concentration(by GroupBy) (*ConcentrationResult, error) {
 		ids = v.ProjectID
 		dict = v.Projects
 	}
-	keys := make([]string, v.N)
-	outcomes := make([]string, v.N)
-	for i := 0; i < v.N; i++ {
-		keys[i] = dict[ids[i]]
+	n := v.N
+	if p.jobSel != nil {
+		n = p.jobSel.Cardinality()
+	}
+	keys := make([]string, 0, n)
+	outcomes := make([]string, 0, n)
+	forEachSelected(p.jobSel, v.N, func(i int) {
+		keys = append(keys, dict[ids[i]])
 		// Matches joblog.Outcome.String for the two possible values.
 		if v.Family[i] == 0 {
-			outcomes[i] = "success"
+			outcomes = append(outcomes, "success")
 		} else {
-			outcomes[i] = "failure"
+			outcomes = append(outcomes, "failure")
 		}
-	}
+	})
 	return concentrationFromGroups(by, p.Groups(by), keys, outcomes)
 }
 

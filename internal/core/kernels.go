@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/bitmap"
 	"repro/internal/joblog"
 	"repro/internal/machine"
 	"repro/internal/raslog"
@@ -157,11 +158,21 @@ type jointKernel struct {
 }
 
 func newJointKernel(d *Dataset, opt JointOptions) *jointKernel {
+	return newJointKernelWhere(d, opt, nil)
+}
+
+// newJointKernelWhere restricts the kernel's FATAL streams to the selected
+// events (nil = all), so a cohort scan attributes failures exactly as a
+// dataset materialized from that selection would.
+func newJointKernelWhere(d *Dataset, opt JointOptions, eventSel *bitmap.Bitmap) *jointKernel {
 	if opt.Tolerance <= 0 {
 		opt = DefaultJointOptions()
 	}
 	k := &jointKernel{d: d, attributed: map[int64]bool{}, tolNs: int64(opt.Tolerance)}
 	for _, i := range d.fatalIdx {
+		if eventSel != nil && !eventSel.Contains(uint32(i)) {
+			continue
+		}
 		e := &d.Events[i]
 		if e.JobID != 0 {
 			k.attributed[e.JobID] = true
@@ -303,10 +314,17 @@ func (s *groupState) Merge(other JobState) {
 	}
 }
 
-// finish converts the dense tallies into the legacy sorted GroupStats view.
+// finish converts the dense tallies into the legacy sorted GroupStats
+// view. Keys with no jobs are skipped: a whole-corpus scan never produces
+// one (the dictionary is built from the jobs), and in a cohort scan the
+// skip makes the group list match a materialized dataset's smaller
+// dictionary.
 func (s *groupState) finish(keys []string) []GroupStats {
 	out := make([]GroupStats, 0, len(keys))
 	for i, key := range keys {
+		if s.jobs[i] == 0 {
+			continue
+		}
 		g := GroupStats{
 			Key:         key,
 			Jobs:        int(s.jobs[i]),
@@ -407,7 +425,17 @@ type temporalJobKernel struct {
 
 func newTemporalJobKernel(d *Dataset) *temporalJobKernel {
 	start, end := d.Span()
+	return newTemporalJobKernelSpan(start, end)
+}
+
+// newTemporalJobKernelSpan builds the kernel for an explicit observation
+// window — a cohort scan passes the selection's span so its day bins line
+// up with a dataset materialized from the same selection.
+func newTemporalJobKernelSpan(start, end time.Time) *temporalJobKernel {
 	spanSec := end.Unix() - start.Unix()
+	if spanSec < 0 {
+		spanSec = 0
+	}
 	return &temporalJobKernel{
 		startUnix: start.Unix(),
 		monthCap:  int(spanSec/(28*86400)) + 2,

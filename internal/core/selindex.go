@@ -1,0 +1,681 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/bitmap"
+	"repro/internal/joblog"
+	"repro/internal/machine"
+	"repro/internal/raslog"
+	"repro/internal/scan"
+	"repro/internal/sel"
+)
+
+// Selection columns. A predicate addresses either the job table or the RAS
+// event table; the compiler refuses expressions that mix the two inside one
+// conjunct (CompileWhere splits top-level ANDs by domain).
+//
+//	job columns:   user, project, exit (family name), nodes, dur (seconds),
+//	               submit (timestamp)
+//	event columns: sev, cat, comp, midplane (Rxx-My), rack (Rxx),
+//	               time (timestamp)
+//
+// Dictionary columns (user, project, exit, sev, cat, comp, midplane, rack)
+// are served from per-key bitmap indexes built lazily over the SoA column
+// views; submit uses a coarse per-day bucket index with boundary
+// refinement; event time exploits the time-sorted stream and compiles to a
+// single run container. The numeric columns (nodes, dur) compile by a
+// cached column scan. See DESIGN.md §14.
+
+type selDomain uint8
+
+const (
+	domJob selDomain = iota
+	domEvent
+)
+
+func (d selDomain) String() string {
+	if d == domEvent {
+		return "event"
+	}
+	return "job"
+}
+
+// domainOf resolves a column name to its table.
+func domainOf(col string) (selDomain, error) {
+	switch col {
+	case "user", "project", "exit", "nodes", "dur", "submit":
+		return domJob, nil
+	case "sev", "cat", "comp", "midplane", "rack", "time":
+		return domEvent, nil
+	}
+	return 0, fmt.Errorf("core: unknown selection column %q", col)
+}
+
+// selIndexes is the lazily built selection machinery over one pair of
+// column views. Dimension indexes build once under sync.Once; compiled
+// selections cache by canonical expression string. Either view may be nil
+// when the corresponding domain is never queried (mirafilter compiles
+// event predicates without a job view).
+type selIndexes struct {
+	jv *scan.JobView
+	ev *scan.EventView
+
+	jobUniOnce, evtUniOnce sync.Once
+	jobUni, evtUni         bitmap.Bitmap
+
+	userOnce, projOnce, famOnce sync.Once
+	user, proj, fam             []bitmap.Bitmap
+	userID, projID              map[string]int32
+
+	submitOnce  sync.Once
+	submitDays  []bitmap.Bitmap
+	submitBase  int64 // day number (unix/86400) of bucket 0
+	timesSorted bool  // event TimeUnix ascending (checked once)
+	timesOnce   sync.Once
+
+	sevOnce, catOnce, compOnce, midOnce, rackOnce sync.Once
+	sev, cat, comp, mid, rack                     []bitmap.Bitmap
+	catID, compID                                 map[string]int32
+
+	mu    sync.Mutex
+	cache map[string]*bitmap.Bitmap
+}
+
+func newSelIndexes(jv *scan.JobView, ev *scan.EventView) *selIndexes {
+	return &selIndexes{jv: jv, ev: ev, cache: map[string]*bitmap.Bitmap{}}
+}
+
+// selIdx returns the dataset's selection machinery, creating it on first
+// use. Index dimensions inside build lazily on first touch.
+func (d *Dataset) selIdx() *selIndexes {
+	d.selOnce.Do(func() { d.selx = newSelIndexes(d.JobView(), d.EventView()) })
+	return d.selx
+}
+
+// denseIndex builds one bitmap per dictionary slot: bms[idOf(i)] collects
+// the rows of key id. Negative ids (events without a location at the
+// level) index nowhere.
+func denseIndex(n, slots int, idOf func(i int) int32) []bitmap.Bitmap {
+	bms := make([]bitmap.Bitmap, slots)
+	for i := 0; i < n; i++ {
+		if id := idOf(i); id >= 0 {
+			bms[id].Add(uint32(i))
+		}
+	}
+	for i := range bms {
+		bms[i].Optimize()
+	}
+	return bms
+}
+
+func dictIDs(dict []string) map[string]int32 {
+	m := make(map[string]int32, len(dict))
+	for i, s := range dict {
+		m[s] = int32(i)
+	}
+	return m
+}
+
+func (x *selIndexes) universe(dom selDomain) *bitmap.Bitmap {
+	if dom == domEvent {
+		x.evtUniOnce.Do(func() {
+			x.evtUni.AddRange(0, uint32(x.ev.N))
+			x.evtUni.Optimize()
+		})
+		return &x.evtUni
+	}
+	x.jobUniOnce.Do(func() {
+		x.jobUni.AddRange(0, uint32(x.jv.N))
+		x.jobUni.Optimize()
+	})
+	return &x.jobUni
+}
+
+func (x *selIndexes) userIdx() []bitmap.Bitmap {
+	x.userOnce.Do(func() {
+		x.userID = dictIDs(x.jv.Users)
+		x.user = denseIndex(x.jv.N, len(x.jv.Users), func(i int) int32 { return x.jv.UserID[i] })
+	})
+	return x.user
+}
+
+func (x *selIndexes) projIdx() []bitmap.Bitmap {
+	x.projOnce.Do(func() {
+		x.projID = dictIDs(x.jv.Projects)
+		x.proj = denseIndex(x.jv.N, len(x.jv.Projects), func(i int) int32 { return x.jv.ProjectID[i] })
+	})
+	return x.proj
+}
+
+func (x *selIndexes) famIdx() []bitmap.Bitmap {
+	x.famOnce.Do(func() {
+		x.fam = denseIndex(x.jv.N, joblog.NumFamilies, func(i int) int32 { return int32(x.jv.Family[i]) })
+	})
+	return x.fam
+}
+
+func (x *selIndexes) sevIdx() []bitmap.Bitmap {
+	x.sevOnce.Do(func() {
+		x.sev = denseIndex(x.ev.N, 4, func(i int) int32 { return int32(x.ev.Sev[i]) })
+	})
+	return x.sev
+}
+
+func (x *selIndexes) catIdx() []bitmap.Bitmap {
+	x.catOnce.Do(func() {
+		x.catID = dictIDs(x.ev.Cats)
+		x.cat = denseIndex(x.ev.N, len(x.ev.Cats), func(i int) int32 { return x.ev.CatID[i] })
+	})
+	return x.cat
+}
+
+func (x *selIndexes) compIdx() []bitmap.Bitmap {
+	x.compOnce.Do(func() {
+		x.compID = dictIDs(x.ev.Comps)
+		x.comp = denseIndex(x.ev.N, len(x.ev.Comps), func(i int) int32 { return x.ev.CompID[i] })
+	})
+	return x.comp
+}
+
+func (x *selIndexes) midIdx() []bitmap.Bitmap {
+	x.midOnce.Do(func() {
+		x.mid = denseIndex(x.ev.N, machine.TotalMidplanes, func(i int) int32 { return x.ev.MidplaneID[i] })
+	})
+	return x.mid
+}
+
+func (x *selIndexes) rackIdx() []bitmap.Bitmap {
+	x.rackOnce.Do(func() {
+		x.rack = denseIndex(x.ev.N, machine.NumRacks, func(i int) int32 { return x.ev.RackID[i] })
+	})
+	return x.rack
+}
+
+// submitIdx builds the coarse per-day submit buckets: bucket k holds the
+// jobs submitted on day submitBase+k (unix/86400, UTC).
+func (x *selIndexes) submitIdx() []bitmap.Bitmap {
+	x.submitOnce.Do(func() {
+		sub := x.jv.SubmitUnix
+		if len(sub) == 0 {
+			return
+		}
+		minDay, maxDay := sub[0]/86400, sub[0]/86400
+		for _, u := range sub {
+			d := u / 86400
+			if d < minDay {
+				minDay = d
+			}
+			if d > maxDay {
+				maxDay = d
+			}
+		}
+		x.submitBase = minDay
+		x.submitDays = denseIndex(x.jv.N, int(maxDay-minDay)+1,
+			func(i int) int32 { return int32(sub[i]/86400 - minDay) })
+	})
+	return x.submitDays
+}
+
+// timeValue parses a timestamp literal: a date, a date-time, an RFC 3339
+// string, or raw Unix seconds. Dates and date-times read as UTC.
+func timeValue(s string) (int64, error) {
+	for _, layout := range []string{"2006-01-02", "2006-01-02T15:04:05", "2006-01-02 15:04:05", time.RFC3339} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t.Unix(), nil
+		}
+	}
+	if u, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return u, nil
+	}
+	return 0, fmt.Errorf("core: cannot parse %q as a timestamp", s)
+}
+
+// SelectJobs compiles a job-domain predicate to the bitmap of matching job
+// rows. The result is cached and shared — callers must not modify it.
+func (d *Dataset) SelectJobs(e sel.Expr) (*bitmap.Bitmap, error) {
+	return d.selIdx().selectDomain(e, domJob)
+}
+
+// SelectEvents compiles an event-domain predicate to the bitmap of
+// matching event rows. The result is cached and shared — callers must not
+// modify it.
+func (d *Dataset) SelectEvents(e sel.Expr) (*bitmap.Bitmap, error) {
+	return d.selIdx().selectDomain(e, domEvent)
+}
+
+// SelectEventsView compiles an event-domain predicate against a standalone
+// event view, without a Dataset — the mirafilter -where path. Indexes are
+// transient; repeated queries over one view should reuse a Dataset.
+func SelectEventsView(ev *scan.EventView, e sel.Expr) (*bitmap.Bitmap, error) {
+	return newSelIndexes(nil, ev).selectDomain(e, domEvent)
+}
+
+// CompileWhere splits a predicate into its job- and event-side selections:
+// top-level conjuncts apply to whichever table their columns address, and
+// a conjunct mixing the two tables is an error. A nil return on either
+// side means that table is unconstrained.
+func (d *Dataset) CompileWhere(e sel.Expr) (jobSel, eventSel *bitmap.Bitmap, err error) {
+	var jobs, events []sel.Expr
+	if err := splitConjuncts(e, &jobs, &events); err != nil {
+		return nil, nil, err
+	}
+	x := d.selIdx()
+	if len(jobs) > 0 {
+		if jobSel, err = x.selectDomain(conjoin(jobs), domJob); err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(events) > 0 {
+		if eventSel, err = x.selectDomain(conjoin(events), domEvent); err != nil {
+			return nil, nil, err
+		}
+	}
+	return jobSel, eventSel, nil
+}
+
+// splitConjuncts flattens top-level ANDs and buckets each conjunct by the
+// table its columns address.
+func splitConjuncts(e sel.Expr, jobs, events *[]sel.Expr) error {
+	if and, ok := e.(sel.And); ok {
+		if err := splitConjuncts(and.L, jobs, events); err != nil {
+			return err
+		}
+		return splitConjuncts(and.R, jobs, events)
+	}
+	cols := sel.Columns(e)
+	if len(cols) == 0 {
+		return fmt.Errorf("core: predicate %s references no columns", e)
+	}
+	dom, err := domainOf(cols[0])
+	if err != nil {
+		return err
+	}
+	for _, c := range cols[1:] {
+		d, err := domainOf(c)
+		if err != nil {
+			return err
+		}
+		if d != dom {
+			return fmt.Errorf("core: predicate %s mixes job and event columns; combine them with a top-level 'and'", e)
+		}
+	}
+	if dom == domEvent {
+		*events = append(*events, e)
+	} else {
+		*jobs = append(*jobs, e)
+	}
+	return nil
+}
+
+func conjoin(es []sel.Expr) sel.Expr {
+	e := es[0]
+	for _, r := range es[1:] {
+		e = sel.And{L: e, R: r}
+	}
+	return e
+}
+
+// selectDomain compiles e for one table, checking every referenced column
+// belongs to it, with the whole-expression result cached by canonical form.
+func (x *selIndexes) selectDomain(e sel.Expr, dom selDomain) (*bitmap.Bitmap, error) {
+	for _, c := range sel.Columns(e) {
+		d, err := domainOf(c)
+		if err != nil {
+			return nil, err
+		}
+		if d != dom {
+			return nil, fmt.Errorf("core: column %q is a %s column, not a %s column", c, d, dom)
+		}
+	}
+	if dom == domJob && x.jv == nil {
+		return nil, fmt.Errorf("core: no job view to select over")
+	}
+	if dom == domEvent && x.ev == nil {
+		return nil, fmt.Errorf("core: no event view to select over")
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.compile(e, dom)
+}
+
+// compile evaluates the expression tree bottom-up as bitmap algebra. Every
+// node's result caches under its canonical string, so shared subtrees and
+// repeated queries cost one evaluation. Called with x.mu held.
+func (x *selIndexes) compile(e sel.Expr, dom selDomain) (*bitmap.Bitmap, error) {
+	key := dom.String() + ":" + e.String()
+	if b, ok := x.cache[key]; ok {
+		return b, nil
+	}
+	var b *bitmap.Bitmap
+	var err error
+	switch v := e.(type) {
+	case sel.And:
+		b, err = x.binary(v.L, v.R, dom, (*bitmap.Bitmap).And)
+	case sel.Or:
+		b, err = x.binary(v.L, v.R, dom, (*bitmap.Bitmap).Or)
+	case sel.Not:
+		var inner *bitmap.Bitmap
+		if inner, err = x.compile(v.X, dom); err == nil {
+			b = bitmap.New().AndNot(x.universe(dom), inner)
+		}
+	case sel.Eq:
+		b, err = x.leafEq(dom, v.Col, v.Val)
+	case sel.In:
+		b = bitmap.New() // empty list selects nothing
+		for _, val := range v.Vals {
+			var one *bitmap.Bitmap
+			if one, err = x.leafEq(dom, v.Col, val); err != nil {
+				break
+			}
+			b = bitmap.New().Or(b, one)
+		}
+	case sel.Range:
+		b, err = x.leafRange(dom, v)
+	default:
+		err = fmt.Errorf("core: unsupported selection expression %T", e)
+	}
+	if err != nil {
+		return nil, err
+	}
+	x.cache[key] = b
+	return b, nil
+}
+
+func (x *selIndexes) binary(l, r sel.Expr, dom selDomain, op func(dst, a, b *bitmap.Bitmap) *bitmap.Bitmap) (*bitmap.Bitmap, error) {
+	lb, err := x.compile(l, dom)
+	if err != nil {
+		return nil, err
+	}
+	rb, err := x.compile(r, dom)
+	if err != nil {
+		return nil, err
+	}
+	return op(bitmap.New(), lb, rb), nil
+}
+
+// leafEq resolves one column == value comparison to its index bitmap (or a
+// scan for the numeric columns). An unknown dictionary value selects
+// nothing; a malformed value (bad severity, bad location, bad number) is
+// an error.
+func (x *selIndexes) leafEq(dom selDomain, col, val string) (*bitmap.Bitmap, error) {
+	switch col {
+	case "user":
+		x.userIdx()
+		if id, ok := x.userID[val]; ok {
+			return &x.user[id], nil
+		}
+		return bitmap.New(), nil
+	case "project":
+		x.projIdx()
+		if id, ok := x.projID[val]; ok {
+			return &x.proj[id], nil
+		}
+		return bitmap.New(), nil
+	case "exit":
+		code := joblog.FamilyCode(joblog.ExitFamily(val))
+		if string(joblog.FamilyOfCode(code)) != val {
+			return nil, fmt.Errorf("core: unknown exit family %q", val)
+		}
+		return &x.famIdx()[code], nil
+	case "nodes":
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: nodes value %q is not a number", val)
+		}
+		return x.scanJobCol(col, n, n), nil
+	case "dur":
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: dur value %q is not a number", val)
+		}
+		return x.scanJobCol(col, n, n), nil
+	case "submit":
+		u, err := timeValue(val)
+		if err != nil {
+			return nil, err
+		}
+		return x.submitRange(u, u), nil
+	case "sev":
+		s, err := raslog.ParseSeverity(val)
+		if err != nil {
+			return nil, fmt.Errorf("core: %q is not a severity (INFO, WARN, FATAL)", val)
+		}
+		return &x.sevIdx()[s], nil
+	case "cat":
+		x.catIdx()
+		if id, ok := x.catID[val]; ok {
+			return &x.cat[id], nil
+		}
+		return bitmap.New(), nil
+	case "comp":
+		x.compIdx()
+		if id, ok := x.compID[val]; ok {
+			return &x.comp[id], nil
+		}
+		return bitmap.New(), nil
+	case "midplane":
+		loc, err := machine.ParseLocation(val)
+		if err != nil {
+			return nil, err
+		}
+		id, err := loc.MidplaneID()
+		if err != nil {
+			return nil, fmt.Errorf("core: %q is not a midplane (Rxx-My)", val)
+		}
+		return &x.midIdx()[id], nil
+	case "rack":
+		loc, err := machine.ParseLocation(val)
+		if err != nil {
+			return nil, err
+		}
+		if loc.Level() != machine.LevelRack {
+			return nil, fmt.Errorf("core: %q is not a rack (Rxx)", val)
+		}
+		return &x.rackIdx()[loc.RackIndex()], nil
+	case "time":
+		u, err := timeValue(val)
+		if err != nil {
+			return nil, err
+		}
+		return x.timeRange(u, u), nil
+	}
+	return nil, fmt.Errorf("core: unknown selection column %q", col)
+}
+
+// leafRange resolves a bounded comparison. Bounds normalize to an
+// inclusive [lo, hi] over the column's integer form.
+func (x *selIndexes) leafRange(dom selDomain, r sel.Range) (*bitmap.Bitmap, error) {
+	parse := strconv.ParseInt
+	isTime := r.Col == "submit" || r.Col == "time"
+	bound := func(s string, missing int64) (int64, error) {
+		if s == "" {
+			return missing, nil
+		}
+		if isTime {
+			return timeValue(s)
+		}
+		n, err := parse(s, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("core: %s value %q is not a number", r.Col, s)
+		}
+		return n, nil
+	}
+	const (
+		minInt = -1 << 63
+		maxInt = 1<<63 - 1
+	)
+	lo, err := bound(r.Lo, minInt)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := bound(r.Hi, maxInt)
+	if err != nil {
+		return nil, err
+	}
+	if r.Lo != "" && !r.LoIncl {
+		lo++
+	}
+	if r.Hi != "" && !r.HiIncl {
+		hi--
+	}
+	if lo > hi {
+		return bitmap.New(), nil
+	}
+	switch r.Col {
+	case "nodes", "dur":
+		return x.scanJobCol(r.Col, lo, hi), nil
+	case "submit":
+		return x.submitRange(lo, hi), nil
+	case "time":
+		return x.timeRange(lo, hi), nil
+	}
+	return nil, fmt.Errorf("core: column %q does not support range comparison", r.Col)
+}
+
+// scanJobCol selects jobs whose numeric column lies in [lo, hi] by a
+// column sweep. Rows visit in ascending order, so the build hits the
+// bitmap's append fast path.
+func (x *selIndexes) scanJobCol(col string, lo, hi int64) *bitmap.Bitmap {
+	b := bitmap.New()
+	switch col {
+	case "nodes":
+		for i, n := range x.jv.Nodes {
+			if v := int64(n); v >= lo && v <= hi {
+				b.Add(uint32(i))
+			}
+		}
+	case "dur":
+		for i, v := range x.jv.DurSec {
+			if v >= lo && v <= hi {
+				b.Add(uint32(i))
+			}
+		}
+	}
+	b.Optimize()
+	return b
+}
+
+// submitRange selects jobs with lo ≤ SubmitUnix ≤ hi from the per-day
+// buckets: fully covered days union wholesale, the two boundary days
+// refine against the column.
+func (x *selIndexes) submitRange(lo, hi int64) *bitmap.Bitmap {
+	buckets := x.submitIdx()
+	res := bitmap.New()
+	if len(buckets) == 0 {
+		return res
+	}
+	sub := x.jv.SubmitUnix
+	loDay := clampDay(lo, x.submitBase, len(buckets))
+	hiDay := clampDay(hi, x.submitBase, len(buckets))
+	if lo/86400 > x.submitBase+int64(len(buckets)-1) || hi/86400 < x.submitBase {
+		return res
+	}
+	tmp := bitmap.New()
+	for day := loDay; day <= hiDay; day++ {
+		bucket := &buckets[day-x.submitBase]
+		dayLo, dayHi := day*86400, day*86400+86399
+		if dayLo >= lo && dayHi <= hi {
+			res, tmp = tmp.Or(res, bucket), res
+			continue
+		}
+		edge := bitmap.New()
+		bucket.Iterate(func(row uint32) bool {
+			if u := sub[row]; u >= lo && u <= hi {
+				edge.Add(row)
+			}
+			return true
+		})
+		res, tmp = tmp.Or(res, edge), res
+	}
+	res.Optimize()
+	return res
+}
+
+func clampDay(u, base int64, n int) int64 {
+	d := u / 86400
+	if u < 0 && u%86400 != 0 {
+		d-- // floor division for pre-epoch instants
+	}
+	if d < base {
+		d = base
+	}
+	if max := base + int64(n-1); d > max {
+		d = max
+	}
+	return d
+}
+
+// timeRange selects events with lo ≤ TimeUnix ≤ hi. The event stream is
+// time-sorted, so the selection is one contiguous run found by binary
+// search; an unsorted adopted view falls back to a sweep.
+func (x *selIndexes) timeRange(lo, hi int64) *bitmap.Bitmap {
+	times := x.ev.TimeUnix
+	x.timesOnce.Do(func() {
+		x.timesSorted = sort.SliceIsSorted(times, func(i, j int) bool { return times[i] < times[j] })
+	})
+	b := bitmap.New()
+	if !x.timesSorted {
+		for i, u := range times {
+			if u >= lo && u <= hi {
+				b.Add(uint32(i))
+			}
+		}
+		b.Optimize()
+		return b
+	}
+	first := sort.Search(len(times), func(i int) bool { return times[i] >= lo })
+	last := sort.Search(len(times), func(i int) bool { return times[i] > hi })
+	if first < last {
+		b.AddRange(uint32(first), uint32(last))
+	}
+	return b
+}
+
+// IndexStat describes one selection-index dimension: how many key bitmaps
+// it holds, how many row ids they index in total, and their compressed
+// payload size. `mirapack -info` prints these.
+type IndexStat struct {
+	Domain string // "job" or "event"
+	Column string
+	Keys   int // dictionary slots with at least one row
+	Rows   int // total indexed rows across keys
+	Bytes  int // compressed size of all key bitmaps
+}
+
+// IndexStats builds every selection-index dimension and reports its
+// cardinality and compressed size, in fixed dimension order.
+func (d *Dataset) IndexStats() []IndexStat {
+	x := d.selIdx()
+	stats := []IndexStat{
+		{Domain: "job", Column: "user"},
+		{Domain: "job", Column: "project"},
+		{Domain: "job", Column: "exit"},
+		{Domain: "job", Column: "submit"},
+		{Domain: "event", Column: "sev"},
+		{Domain: "event", Column: "cat"},
+		{Domain: "event", Column: "comp"},
+		{Domain: "event", Column: "midplane"},
+		{Domain: "event", Column: "rack"},
+	}
+	dims := [][]bitmap.Bitmap{
+		x.userIdx(), x.projIdx(), x.famIdx(), x.submitIdx(),
+		x.sevIdx(), x.catIdx(), x.compIdx(), x.midIdx(), x.rackIdx(),
+	}
+	for i := range stats {
+		for j := range dims[i] {
+			b := &dims[i][j]
+			if b.IsEmpty() {
+				continue
+			}
+			stats[i].Keys++
+			stats[i].Rows += b.Cardinality()
+			stats[i].Bytes += b.SizeBytes()
+		}
+	}
+	return stats
+}

@@ -89,6 +89,12 @@ type envCache struct {
 	warnIncOnce  sync.Once
 	warnInc      []core.Incident
 	warnIncErr   error
+
+	// Cohort profiles keyed by the predicate's canonical form (see
+	// cohort.go). A map rather than sync.Once because the key space is
+	// open-ended — any -where expression.
+	cohortMu sync.Mutex
+	cohorts  map[string]*core.FusedProfile
 }
 
 // NewEnv generates a corpus and indexes it. Generation uses all cores; use

@@ -1,0 +1,107 @@
+package pack_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/pack"
+	"repro/internal/sel"
+)
+
+// whereProfileEqual compares the exported aggregates of two fused
+// profiles (the pack-side mirror of the core equivalence helper).
+func whereProfileEqual(t *testing.T, label string, got, want *core.FusedProfile) {
+	t.Helper()
+	cmp := func(name string, g, w interface{}) {
+		t.Helper()
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("%s: %s differs:\n  got  %+v\n  want %+v", label, name, g, w)
+		}
+	}
+	cmp("Summary", got.Summary, want.Summary)
+	cmp("Exit", got.Exit, want.Exit)
+	cmp("Joint", got.Joint, want.Joint)
+	cmp("UserGroups", got.UserGroups, want.UserGroups)
+	cmp("ProjectGroups", got.ProjectGroups, want.ProjectGroups)
+	cmp("Temporal", got.Temporal, want.Temporal)
+	cmp("RAS", got.RAS, want.RAS)
+	cmp("Waste", got.Waste, want.Waste)
+	cmp("Interrupts", got.Interrupts, want.Interrupts)
+	cmp("InterruptsErr", fmt.Sprint(got.InterruptsErr), fmt.Sprint(want.InterruptsErr))
+	for _, lvl := range []machine.Level{machine.LevelMidplane, machine.LevelRack} {
+		g, gErr := got.Locality(lvl)
+		w, wErr := want.Locality(lvl)
+		cmp("Locality("+lvl.String()+")", g, w)
+		cmp("Locality("+lvl.String()+") err", fmt.Sprint(gErr), fmt.Sprint(wErr))
+	}
+}
+
+// TestFusedScanWhereCSVvsPack closes the acceptance loop on the loader
+// side: for each predicate, the pushdown profile must be identical on a
+// CSV-loaded and a pack-loaded corpus, and each must equal its own
+// materialize-then-scan reference, across worker counts.
+func TestFusedScanWhereCSVvsPack(t *testing.T) {
+	d := generatedDataset(t)
+	dir := t.TempDir()
+	jb, tb, rb, ib := writeCSVs(t, d)
+	for _, f := range []struct {
+		name string
+		data []byte
+	}{
+		{"jobs.csv", jb}, {"tasks.csv", tb}, {"ras.csv", rb}, {"io.csv", ib},
+	} {
+		if err := os.WriteFile(filepath.Join(dir, f.name), f.data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fromCSV, err := pack.LoadDir(dir, pack.FormatCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pack.WriteFile(pack.SnapshotPath(dir), fromCSV); err != nil {
+		t.Fatal(err)
+	}
+	fromPack, err := pack.LoadDir(dir, pack.FormatPack)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jv := fromPack.JobView()
+	preds := []string{
+		fmt.Sprintf("user == %s", jv.Users[0]),
+		"exit != success and nodes >= 1024",
+		"sev == FATAL",
+		fmt.Sprintf("project == %s and sev != INFO", jv.Projects[0]),
+	}
+	for _, where := range preds {
+		e, err := sel.Parse(where)
+		if err != nil {
+			t.Fatalf("parse %q: %v", where, err)
+		}
+		md, err := fromPack.MaterializeWhere(e)
+		if err != nil {
+			t.Fatalf("materialize %q: %v", where, err)
+		}
+		ref, err := md.FusedScan(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4, 8} {
+			pCSV, err := fromCSV.FusedScanWhere(e, workers)
+			if err != nil {
+				t.Fatalf("csv FusedScanWhere(%q): %v", where, err)
+			}
+			pPack, err := fromPack.FusedScanWhere(e, workers)
+			if err != nil {
+				t.Fatalf("pack FusedScanWhere(%q): %v", where, err)
+			}
+			whereProfileEqual(t, fmt.Sprintf("%q workers=%d csv-vs-pack", where, workers), pCSV, pPack)
+			whereProfileEqual(t, fmt.Sprintf("%q workers=%d pack-vs-materialized", where, workers), pPack, ref)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package scan
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/bitmap"
+	"repro/internal/par"
+)
+
+// RunWhere is Run restricted to the rows set in sel: every kernel sees
+// exactly the selected rows, in ascending order, as ProcessBlock calls
+// over the maximal selected runs of each block. A nil sel degenerates to
+// Run.
+//
+// The shard plan stays a pure function of the total row count n — NOT of
+// the selection — so the partial-state layout and the merge tree are the
+// same as an unmasked scan's, and results are bit-identical at any worker
+// count. Blocks with no selected rows are skipped without touching the
+// view's columns; a fully selected block issues the same single
+// ProcessBlock(v, blockLo, blockHi) call the unmasked engine would, so
+// pushdown costs nothing where the predicate is dense (DESIGN.md §14).
+func RunWhere[V any](v V, n int, sel *bitmap.Bitmap, kernels []Kernel[V], workers int) ([]State[V], error) {
+	if sel == nil {
+		return Run(v, n, kernels, workers)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("scan: negative row count %d", n)
+	}
+	newStates := func() []State[V] {
+		sts := make([]State[V], len(kernels))
+		for i, k := range kernels {
+			sts[i] = k.NewState()
+		}
+		return sts
+	}
+	shards := (n + ShardRows - 1) / ShardRows
+	if shards <= 1 {
+		sts := newStates()
+		processShardWhere(v, 0, n, sel, make([]bitmap.Run, 0, BlockRows/2), sts)
+		return sts, nil
+	}
+	states := make([][]State[V], shards)
+	err := par.ForEach(context.Background(), shards, workers, func(s int) error {
+		lo := s * ShardRows
+		hi := min(lo+ShardRows, n)
+		sts := newStates()
+		// The run buffer is per-shard-task; par.ForEach hands each worker
+		// disjoint shards, so no sharing. Worst case a 2048-row block
+		// decomposes into 1024 singleton runs.
+		processShardWhere(v, lo, hi, sel, make([]bitmap.Run, 0, BlockRows/2), sts)
+		states[s] = sts
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scan: %w", err)
+	}
+	for stride := 1; stride < shards; stride *= 2 {
+		for i := 0; i+stride < shards; i += 2 * stride {
+			for k := range kernels {
+				states[i][k].Merge(states[i+stride][k])
+			}
+		}
+	}
+	return states[0], nil
+}
+
+// processShardWhere feeds each block's selected runs to every state. The
+// block-skip test and the run decomposition touch only the selection
+// bitmap, never the view's columns.
+//
+//mira:hotpath
+func processShardWhere[V any](v V, lo, hi int, sel *bitmap.Bitmap, runs []bitmap.Run, sts []State[V]) {
+	for blo := lo; blo < hi; blo += BlockRows {
+		bhi := min(blo+BlockRows, hi)
+		runs = sel.AppendBlockRuns(runs[:0], blo, bhi)
+		if len(runs) == 0 {
+			continue
+		}
+		for _, st := range sts {
+			for _, r := range runs {
+				st.ProcessBlock(v, int(r.Lo), int(r.Hi))
+			}
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package sel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse turns a -where expression into an Expr. The grammar, loosest
+// binding first:
+//
+//	expr    = and { ("or"|"||") and }
+//	and     = unary { ("and"|"&&") unary }
+//	unary   = ("not"|"!") unary | "(" expr ")" | cmp
+//	cmp     = column ("=="|"="|"!="|"<"|"<="|">"|">=") value
+//	        | column "in" "(" value { "," value } ")"
+//	value   = quoted string | bare word
+//
+// Keywords are case-insensitive. Bare words may contain letters, digits
+// and the punctuation that appears in corpus values (`_ - . : /`), so
+// midplane names (R0-M1), exit classes and timestamps (2013-04-01) need
+// no quoting; anything else takes single or double quotes.
+func Parse(s string) (Expr, error) {
+	p := &parser{toks: nil}
+	if err := p.lex(s); err != nil {
+		return nil, err
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sel: unexpected %q after expression", p.peek().text)
+	}
+	return e, nil
+}
+
+type tokKind uint8
+
+const (
+	tokEOF    tokKind = iota
+	tokWord           // bare word: column name or unquoted value
+	tokString         // quoted value
+	tokOp             // comparison operator
+	tokLParen
+	tokRParen
+	tokComma
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func isWordChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '_' || c == '-' || c == '.' || c == ':' || c == '/'
+}
+
+func (p *parser) lex(s string) error {
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			p.toks = append(p.toks, token{tokLParen, "("})
+			i++
+		case c == ')':
+			p.toks = append(p.toks, token{tokRParen, ")"})
+			i++
+		case c == ',':
+			p.toks = append(p.toks, token{tokComma, ","})
+			i++
+		case c == '\'' || c == '"':
+			j := i + 1
+			for j < len(s) && s[j] != c {
+				j++
+			}
+			if j >= len(s) {
+				return fmt.Errorf("sel: unterminated string at offset %d", i)
+			}
+			p.toks = append(p.toks, token{tokString, s[i+1 : j]})
+			i = j + 1
+		case c == '=' || c == '!' || c == '<' || c == '>' || c == '&' || c == '|':
+			j := i + 1
+			if j < len(s) && (s[j] == '=' || s[j] == '&' || s[j] == '|') {
+				j++
+			}
+			p.toks = append(p.toks, token{tokOp, s[i:j]})
+			i = j
+		case isWordChar(c):
+			j := i
+			for j < len(s) && isWordChar(s[j]) {
+				j++
+			}
+			p.toks = append(p.toks, token{tokWord, s[i:j]})
+			i = j
+		default:
+			return fmt.Errorf("sel: unexpected character %q at offset %d", c, i)
+		}
+	}
+	p.toks = append(p.toks, token{tokEOF, ""})
+	return nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// keyword reports whether the next token is the given case-insensitive
+// word or symbol, consuming it when it is.
+func (p *parser) keyword(words ...string) bool {
+	t := p.peek()
+	if t.kind != tokWord && t.kind != tokOp {
+		return false
+	}
+	for _, w := range words {
+		if strings.EqualFold(t.text, w) {
+			p.pos++
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("or", "||") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("and", "&&") {
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = And{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.keyword("not", "!") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{X: x}, nil
+	}
+	if p.peek().kind == tokLParen {
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("sel: expected ')', got %q", p.peek().text)
+		}
+		p.next()
+		return e, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	t := p.next()
+	if t.kind != tokWord {
+		return nil, fmt.Errorf("sel: expected column name, got %q", t.text)
+	}
+	col := t.text
+	if p.keyword("in") {
+		if p.peek().kind != tokLParen {
+			return nil, fmt.Errorf("sel: expected '(' after %q in", col)
+		}
+		p.next()
+		var vals []string
+		for {
+			v, err := p.parseValue()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+			if p.peek().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		if p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("sel: expected ')', got %q", p.peek().text)
+		}
+		p.next()
+		return In{Col: col, Vals: vals}, nil
+	}
+	op := p.next()
+	if op.kind != tokOp {
+		return nil, fmt.Errorf("sel: expected operator after %q, got %q", col, op.text)
+	}
+	val, err := p.parseValue()
+	if err != nil {
+		return nil, err
+	}
+	switch op.text {
+	case "==", "=":
+		return Eq{Col: col, Val: val}, nil
+	case "!=":
+		return Not{X: Eq{Col: col, Val: val}}, nil
+	case "<":
+		return Range{Col: col, Hi: val}, nil
+	case "<=":
+		return Range{Col: col, Hi: val, HiIncl: true}, nil
+	case ">":
+		return Range{Col: col, Lo: val}, nil
+	case ">=":
+		return Range{Col: col, Lo: val, LoIncl: true}, nil
+	}
+	return nil, fmt.Errorf("sel: unknown operator %q", op.text)
+}
+
+func (p *parser) parseValue() (string, error) {
+	t := p.next()
+	if t.kind != tokWord && t.kind != tokString {
+		return "", fmt.Errorf("sel: expected value, got %q", t.text)
+	}
+	return t.text, nil
+}

@@ -1,0 +1,128 @@
+// Package sel defines the predicate AST shared by `mirareport -where`,
+// `mirafilter -where`, and the programmatic cohort API: a small expression
+// language of column comparisons (Eq/In/Range) combined with And/Or/Not.
+// Expressions are pure syntax — column names and values are strings; the
+// selection compiler in internal/core interprets them against a concrete
+// dataset's columns and turns them into bitmap algebra (DESIGN.md §14).
+//
+// The canonical String form of an expression is deterministic and
+// re-parseable, and doubles as the cache key for compiled selections.
+package sel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Expr is a predicate over named columns.
+type Expr interface {
+	fmt.Stringer
+	// appendColumns accumulates the column names the expression reads.
+	appendColumns(dst []string) []string
+}
+
+// Eq selects rows whose column equals a value.
+type Eq struct {
+	Col, Val string
+}
+
+// In selects rows whose column equals any of the listed values.
+type In struct {
+	Col  string
+	Vals []string
+}
+
+// Range selects rows whose column lies between Lo and Hi. An empty bound
+// is unbounded on that side; LoIncl/HiIncl choose ≤/≥ versus strict
+// comparison. How the bounds are ordered (numerically, by timestamp, …)
+// is decided per column by the compiler.
+type Range struct {
+	Col, Lo, Hi    string
+	LoIncl, HiIncl bool
+}
+
+// And selects rows matched by both operands.
+type And struct {
+	L, R Expr
+}
+
+// Or selects rows matched by either operand.
+type Or struct {
+	L, R Expr
+}
+
+// Not selects rows not matched by the operand.
+type Not struct {
+	X Expr
+}
+
+func (e Eq) String() string { return e.Col + " == " + quote(e.Val) }
+
+func (e In) String() string {
+	var sb strings.Builder
+	sb.WriteString(e.Col)
+	sb.WriteString(" in (")
+	for i, v := range e.Vals {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(quote(v))
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+func (e Range) String() string {
+	lo, hi := "", ""
+	if e.Lo != "" {
+		op := " > "
+		if e.LoIncl {
+			op = " >= "
+		}
+		lo = e.Col + op + quote(e.Lo)
+	}
+	if e.Hi != "" {
+		op := " < "
+		if e.HiIncl {
+			op = " <= "
+		}
+		hi = e.Col + op + quote(e.Hi)
+	}
+	switch {
+	case lo == "":
+		return hi
+	case hi == "":
+		return lo
+	default:
+		return "(" + lo + " and " + hi + ")"
+	}
+}
+
+func (e And) String() string { return "(" + e.L.String() + " and " + e.R.String() + ")" }
+func (e Or) String() string  { return "(" + e.L.String() + " or " + e.R.String() + ")" }
+func (e Not) String() string { return "not " + e.X.String() }
+
+func quote(v string) string { return fmt.Sprintf("%q", v) }
+
+func (e Eq) appendColumns(dst []string) []string    { return append(dst, e.Col) }
+func (e In) appendColumns(dst []string) []string    { return append(dst, e.Col) }
+func (e Range) appendColumns(dst []string) []string { return append(dst, e.Col) }
+func (e And) appendColumns(dst []string) []string   { return e.R.appendColumns(e.L.appendColumns(dst)) }
+func (e Or) appendColumns(dst []string) []string    { return e.R.appendColumns(e.L.appendColumns(dst)) }
+func (e Not) appendColumns(dst []string) []string   { return e.X.appendColumns(dst) }
+
+// Columns returns the sorted, deduplicated column names e reads. The
+// compiler uses it to decide whether a predicate addresses the job or the
+// event domain (or illegally mixes them).
+func Columns(e Expr) []string {
+	cols := e.appendColumns(nil)
+	sort.Strings(cols)
+	out := cols[:0]
+	for i, c := range cols {
+		if i == 0 || c != cols[i-1] {
+			out = append(out, c)
+		}
+	}
+	return out
+}

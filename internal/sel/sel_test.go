@@ -1,0 +1,108 @@
+package sel
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Expr
+	}{
+		{`user == u042`, Eq{Col: "user", Val: "u042"}},
+		{`user = "u042"`, Eq{Col: "user", Val: "u042"}},
+		{`sev != FATAL`, Not{X: Eq{Col: "sev", Val: "FATAL"}}},
+		{`nodes >= 512`, Range{Col: "nodes", Lo: "512", LoIncl: true}},
+		{`time < 2013-04-01`, Range{Col: "time", Hi: "2013-04-01"}},
+		{`exit in (system, software)`, In{Col: "exit", Vals: []string{"system", "software"}}},
+		{
+			`sev == FATAL and cat in ('DDR', Cable)`,
+			And{L: Eq{Col: "sev", Val: "FATAL"}, R: In{Col: "cat", Vals: []string{"DDR", "Cable"}}},
+		},
+		{
+			`a == 1 or b == 2 and c == 3`, // and binds tighter
+			Or{L: Eq{Col: "a", Val: "1"}, R: And{L: Eq{Col: "b", Val: "2"}, R: Eq{Col: "c", Val: "3"}}},
+		},
+		{
+			`(a == 1 or b == 2) && !(c == 3)`,
+			And{
+				L: Or{L: Eq{Col: "a", Val: "1"}, R: Eq{Col: "b", Val: "2"}},
+				R: Not{X: Eq{Col: "c", Val: "3"}},
+			},
+		},
+		{`NOT midplane == R0-M1`, Not{X: Eq{Col: "midplane", Val: "R0-M1"}}},
+		{
+			`submit >= 2013-01-01 and submit < 2013-02-01`,
+			And{
+				L: Range{Col: "submit", Lo: "2013-01-01", LoIncl: true},
+				R: Range{Col: "submit", Hi: "2013-02-01"},
+			},
+		},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Parse(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		``,
+		`user ==`,
+		`== u042`,
+		`user == 'unterminated`,
+		`(user == a`,
+		`user == a extra`,
+		`exit in system`,
+		`exit in (a,`,
+		`user @ a`,
+		`a == 1 and`,
+	} {
+		if e, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) = %v, want error", in, e)
+		}
+	}
+}
+
+// TestStringRoundTrip checks the canonical form re-parses to an expression
+// with the same canonical form — the property the selection cache key
+// relies on.
+func TestStringRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		`user == u042`,
+		`sev != FATAL`,
+		`exit in (system, software) or nodes >= 1024`,
+		`not (a == 1 and b < 2)`,
+		`cat == 'has space' and comp == "q'd"`,
+	} {
+		e, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		e2, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (canonical %q): %v", in, e.String(), err)
+		}
+		if e.String() != e2.String() {
+			t.Errorf("canonical form unstable: %q -> %q", e.String(), e2.String())
+		}
+	}
+}
+
+func TestColumns(t *testing.T) {
+	e, err := Parse(`sev == FATAL and (cat == DDR or sev == WARN) and midplane != R0-M1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"cat", "midplane", "sev"}
+	if got := Columns(e); !reflect.DeepEqual(got, want) {
+		t.Errorf("Columns = %v, want %v", got, want)
+	}
+}

@@ -5,22 +5,31 @@
 # across commits).
 #
 # Usage:
-#   scripts/bench.sh [outdir]          # default outdir: bench-results
+#   scripts/bench.sh [outdir]          # default outdir: the repo root
 #   BENCH_FULL=1 scripts/bench.sh      # also run the repo-root experiment
 #                                      # benches (150-day corpus, slow)
+#
+# The default outdir is the repository root so that results are committed
+# alongside the change they measure: every perf PR runs this script and
+# checks in its BENCH_<sha>.json (sha = HEAD at measurement time), giving
+# the repo a benchmark trajectory reviewers can diff. CI validates the
+# committed envelopes with `scripts/benchjson -validate`.
 #
 # The default set is the cheap paired benchmarks: the codec allocation
 # comparisons in internal/raslog (alloc_reduction metric), the
 # filter-sweep speedup comparison in internal/core (speedup metric), the
 # LoadCSV/LoadPack corpus-load comparison in internal/pack (speedup
 # metric), the FitLegacy/FitSample model-selection comparison in
-# internal/dist (speedup metric), and the headline fused-vs-legacy suite
+# internal/dist (speedup metric), the headline fused-vs-legacy suite
 # comparison Benchmark_RunAll_{Legacy,Fused} at the repo root (speedup
-# metric, measured against a median legacy reference pass — DESIGN.md §13).
+# metric, measured against a median legacy reference pass — DESIGN.md
+# §13), and the cohort-query pushdown comparison
+# Benchmark_CohortSweep_{Materialize,Where} (speedup metric, measured
+# against a median materialize reference pass — DESIGN.md §14).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-outdir="${1:-bench-results}"
+outdir="${1:-.}"
 mkdir -p "$outdir"
 
 sha="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
@@ -34,8 +43,8 @@ fi
 raw="$(go test -bench=. -benchmem -count=1 -run '^$' "${pkgs[@]}")"
 if [[ "${BENCH_FULL:-0}" != "1" ]]; then
   # The full run covers the repo root already; otherwise run just the
-  # paired E1–E23 suite comparison with a bounded iteration count.
-  raw+=$'\n'"$(go test -bench 'Benchmark_RunAll_(Legacy|Fused)$' -benchmem -benchtime=10x -count=1 -run '^$' .)"
+  # paired suite and cohort comparisons with a bounded iteration count.
+  raw+=$'\n'"$(go test -bench 'Benchmark_(RunAll_(Legacy|Fused)|CohortSweep_(Materialize|Where))$' -benchmem -benchtime=10x -count=1 -run '^$' .)"
 fi
 echo "$raw"
 go run ./scripts/benchjson -out "$out" -sha "$sha" <<<"$raw"

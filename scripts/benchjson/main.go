@@ -1,5 +1,10 @@
 // Command benchjson wraps raw `go test -bench` output (stdin) in a JSON
 // envelope with provenance, written by scripts/bench.sh as BENCH_<sha>.json.
+//
+// With -validate, it instead checks committed envelopes: each argument must
+// be a well-formed envelope whose sha matches its BENCH_<sha>.json filename
+// and whose benchmark list is non-empty. CI runs this over the repo root so
+// the benchmark trajectory (one committed file per perf PR) stays parseable.
 package main
 
 import (
@@ -8,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 )
@@ -22,7 +28,16 @@ type envelope struct {
 func main() {
 	out := flag.String("out", "", "output path (empty = stdout)")
 	sha := flag.String("sha", "", "commit SHA the results belong to")
+	validate := flag.Bool("validate", false, "validate the BENCH_<sha>.json files given as arguments instead of wrapping stdin")
 	flag.Parse()
+
+	if *validate {
+		if err := validateFiles(flag.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	raw, err := io.ReadAll(os.Stdin)
 	if err != nil {
@@ -49,4 +64,39 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// validateFiles checks each envelope decodes, carries results, and agrees
+// with its filename's sha.
+func validateFiles(paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-validate needs at least one BENCH_<sha>.json argument")
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var doc envelope
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if doc.SHA == "" || doc.GoVersion == "" {
+			return fmt.Errorf("%s: missing sha or go version", path)
+		}
+		if len(doc.Benchmarks) == 0 {
+			return fmt.Errorf("%s: no benchmark result lines", path)
+		}
+		name := filepath.Base(path)
+		if want := "BENCH_" + doc.SHA + ".json"; name != want {
+			return fmt.Errorf("%s: filename does not match envelope sha (want %s)", path, want)
+		}
+		for _, line := range doc.Benchmarks {
+			if !strings.Contains(doc.Raw, line) {
+				return fmt.Errorf("%s: benchmark line %q missing from raw output", path, line)
+			}
+		}
+		fmt.Printf("%s: ok (%d benchmarks, %s)\n", path, len(doc.Benchmarks), doc.GoVersion)
+	}
+	return nil
 }
