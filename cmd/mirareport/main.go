@@ -33,9 +33,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
-	"repro/internal/joblog"
 	"repro/internal/pack"
-	"repro/internal/report"
+	"repro/internal/sel"
 	"repro/internal/sim"
 )
 
@@ -186,51 +185,21 @@ func buildEnv(in, format string, days int, seed int64, small bool, parallelism i
 }
 
 // printCohort renders the fused profile of the cohort a -where predicate
-// selects: the Table-I summary restricted to the cohort, its exit-family
-// breakdown, and the heaviest users inside it.
+// selects, through the rendering path shared with the mirad /v1/cohort
+// endpoint (experiments.RenderCohort). Both surfaces title the report
+// with the predicate's *canonical* form — the cache key every layer
+// shares — so the output is bit-identical for any spelling of one
+// selection.
 func printCohort(env *experiments.Env, where string) error {
-	p, err := env.CohortProfile(where)
+	expr, err := sel.Parse(where)
 	if err != nil {
 		return err
 	}
-	s := p.Summary
-	st := &report.Table{Title: "cohort summary: " + where, Columns: []string{"metric", "value"}}
-	st.AddRow("days", fmt.Sprintf("%.1f", s.Days))
-	st.AddRow("jobs", s.Jobs)
-	st.AddRow("tasks", s.Tasks)
-	st.AddRow("users", s.Users)
-	st.AddRow("projects", s.Projects)
-	st.AddRow("core-hours", fmt.Sprintf("%.0f", s.CoreHours))
-	st.AddRow("failed jobs", s.FailedJobs)
-	st.AddRow("success jobs", s.SuccessJobs)
-	st.AddRow("RAS events", s.RASTotal)
-	st.AddRow("RAS fatal", s.RASFatal)
-	st.AddRow("RAS warn", s.RASWarn)
-	st.AddRow("I/O records", s.IORecords)
-	if err := st.Render(os.Stdout); err != nil {
+	p, err := env.CohortProfileExpr(expr)
+	if err != nil {
 		return err
 	}
-	fmt.Println()
-
-	ft := &report.Table{Title: "cohort exit families", Columns: []string{"family", "failed jobs"}}
-	for c := 1; c < joblog.NumFamilies; c++ {
-		if n := p.Exit.ByFamily[c]; n > 0 {
-			ft.AddRow(string(joblog.FamilyOfCode(uint8(c))), n)
-		}
-	}
-	if err := ft.Render(os.Stdout); err != nil {
-		return err
-	}
-	fmt.Println()
-
-	ut := &report.Table{Title: "cohort top users", Columns: []string{"user", "jobs", "failed", "core-hours"}}
-	for i, g := range p.UserGroups {
-		if i >= 10 {
-			break
-		}
-		ut.AddRow(g.Key, g.Jobs, g.Failed, fmt.Sprintf("%.0f", g.CoreHours))
-	}
-	return ut.Render(os.Stdout)
+	return experiments.RenderCohort(os.Stdout, p, expr.String())
 }
 
 func printTakeaways(d *core.Dataset) error {

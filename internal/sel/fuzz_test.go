@@ -1,0 +1,85 @@
+package sel
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse is the predicate-parser robustness target: for arbitrary
+// input the parser must never panic, and whenever it accepts an
+// expression the canonical form must be a fixed point — String() must
+// reparse, and reparse must String() to the same bytes. This is the
+// property the selection caches (experiments.Env cohorts, the mirad
+// serve LRU, the compiled-selection cache in core) rely on when they key
+// entries by canonical form.
+//
+// Run the smoke locally or in CI with:
+//
+//	go test -run '^$' -fuzz FuzzParse -fuzztime=10s ./internal/sel
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		// Plain comparisons, every operator, both = spellings.
+		"user == u042",
+		"user = u042",
+		"exit != success",
+		"nodes >= 1024",
+		"dur < 3600",
+		"submit <= 2013-04-01",
+		"time > 2016-01-02T15:04:05",
+		// Quoting: single, double, embedded quotes and backslashes.
+		`user == "u042"`,
+		`user == 'u042'`,
+		`cat == 'weird "quoted" value'`,
+		`cat == "it's quoted"`,
+		`cat == "back\\slash"`,
+		`cat == "escaped \" quote"`,
+		`cat == ''`,
+		// C-synonym operators and case-insensitive keywords.
+		"sev == FATAL && cat == DDR or not comp == CNK",
+		"sev == FATAL AND NOT cat == DDR",
+		"!(user == u001) || project == p2",
+		// in-lists.
+		"user in (u001, u002, u003)",
+		"exit in (killed, segfault)",
+		`user in ("a", 'b')`,
+		// Nesting and mixed domains.
+		"(user == u1 and (exit == system or exit == killed)) and sev == FATAL",
+		"not not not user == u1",
+		"((((nodes > 512))))",
+		// Ranges on both sides.
+		"submit >= 2013-04-01 and submit < 2013-05-01",
+		// Junk that must error, not panic.
+		"",
+		"user ==",
+		"== u042",
+		"user in ()",
+		"user in (a,",
+		"'unterminated",
+		`"also unterminated\`,
+		"user == u042 extra",
+		"(((",
+		strings.Repeat("not ", 64) + "user == u1",
+		strings.Repeat("(", 300),
+		"\x00\xff\xfe",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		e, err := Parse(s)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		canon := e.String()
+		e2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse:\n  input %q\n  canon %q\n  err   %v", s, canon, err)
+		}
+		if again := e2.String(); again != canon {
+			t.Fatalf("canonical form is not a fixed point:\n  input  %q\n  canon  %q\n  canon² %q", s, canon, again)
+		}
+		// Columns must be well-defined on anything the parser accepts.
+		if cols := Columns(e); len(cols) == 0 {
+			t.Fatalf("parsed expression %q reads no columns", canon)
+		}
+	})
+}

@@ -15,10 +15,18 @@ import (
 //	        | column "in" "(" value { "," value } ")"
 //	value   = quoted string | bare word
 //
-// Keywords are case-insensitive. Bare words may contain letters, digits
+// Keywords and column names are case-insensitive (columns canonicalize
+// to lower case); values are case-sensitive. Bare words may contain letters, digits
 // and the punctuation that appears in corpus values (`_ - . : /`), so
 // midplane names (R0-M1), exit classes and timestamps (2013-04-01) need
-// no quoting; anything else takes single or double quotes.
+// no quoting; anything else takes single or double quotes. Inside a
+// quoted string a backslash escapes the next byte (so \" and \\ denote a
+// literal quote and backslash); every other byte passes through raw.
+//
+// Nesting (parentheses and `not`) is bounded by maxDepth, so adversarial
+// input cannot drive the recursive-descent parser — or the recursive
+// String/compile walks over the resulting tree — arbitrarily deep. The
+// -where surface is exposed to untrusted query strings by mirad.
 func Parse(s string) (Expr, error) {
 	p := &parser{toks: nil}
 	if err := p.lex(s); err != nil {
@@ -33,6 +41,9 @@ func Parse(s string) (Expr, error) {
 	}
 	return e, nil
 }
+
+// maxDepth bounds parser recursion (parens and not-chains).
+const maxDepth = 200
 
 type tokKind uint8
 
@@ -52,8 +63,9 @@ type token struct {
 }
 
 type parser struct {
-	toks []token
-	pos  int
+	toks  []token
+	pos   int
+	depth int
 }
 
 func isWordChar(c byte) bool {
@@ -78,14 +90,19 @@ func (p *parser) lex(s string) error {
 			p.toks = append(p.toks, token{tokComma, ","})
 			i++
 		case c == '\'' || c == '"':
+			var sb strings.Builder
 			j := i + 1
 			for j < len(s) && s[j] != c {
+				if s[j] == '\\' && j+1 < len(s) {
+					j++ // escaped byte: take it literally
+				}
+				sb.WriteByte(s[j])
 				j++
 			}
 			if j >= len(s) {
 				return fmt.Errorf("sel: unterminated string at offset %d", i)
 			}
-			p.toks = append(p.toks, token{tokString, s[i+1 : j]})
+			p.toks = append(p.toks, token{tokString, sb.String()})
 			i = j + 1
 		case c == '=' || c == '!' || c == '<' || c == '>' || c == '&' || c == '|':
 			j := i + 1
@@ -166,6 +183,11 @@ func (p *parser) parseAnd() (Expr, error) {
 }
 
 func (p *parser) parseUnary() (Expr, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxDepth {
+		return nil, fmt.Errorf("sel: expression nests deeper than %d levels", maxDepth)
+	}
 	if p.keyword("not", "!") {
 		x, err := p.parseUnary()
 		if err != nil {
@@ -193,7 +215,11 @@ func (p *parser) parseCmp() (Expr, error) {
 	if t.kind != tokWord {
 		return nil, fmt.Errorf("sel: expected column name, got %q", t.text)
 	}
-	col := t.text
+	// Column names canonicalize to lower case (values stay case-sensitive:
+	// severities and dictionary entries are case-significant), so every
+	// spelling of one selection shares a canonical form — and therefore one
+	// cache entry in every layer keyed by Expr.String().
+	col := strings.ToLower(t.text)
 	if p.keyword("in") {
 		if p.peek().kind != tokLParen {
 			return nil, fmt.Errorf("sel: expected '(' after %q in", col)
@@ -231,6 +257,13 @@ func (p *parser) parseCmp() (Expr, error) {
 		return Eq{Col: col, Val: val}, nil
 	case "!=":
 		return Not{X: Eq{Col: col, Val: val}}, nil
+	}
+	// Range bounds: the empty string is Range's "unbounded" sentinel (and
+	// no numeric or time column parses it), so reject it as a bound value.
+	if val == "" {
+		return nil, fmt.Errorf("sel: empty %s bound for %q", op.text, col)
+	}
+	switch op.text {
 	case "<":
 		return Range{Col: col, Hi: val}, nil
 	case "<=":

@@ -103,7 +103,25 @@ func (e And) String() string { return "(" + e.L.String() + " and " + e.R.String(
 func (e Or) String() string  { return "(" + e.L.String() + " or " + e.R.String() + ")" }
 func (e Not) String() string { return "not " + e.X.String() }
 
-func quote(v string) string { return fmt.Sprintf("%q", v) }
+// quote renders a value in the canonical double-quoted form the lexer
+// round-trips exactly: only the quote character and the backslash are
+// escaped, every other byte (including newlines and non-UTF-8) passes
+// through raw. Using Go's %q here would be wrong — the lexer has no
+// notion of \n/\uXXXX escapes, so parse→String→reparse would not be a
+// fixed point for values containing quotes or backslashes.
+func quote(v string) string {
+	var sb strings.Builder
+	sb.Grow(len(v) + 2)
+	sb.WriteByte('"')
+	for i := 0; i < len(v); i++ {
+		if v[i] == '"' || v[i] == '\\' {
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(v[i])
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
 
 func (e Eq) appendColumns(dst []string) []string    { return append(dst, e.Col) }
 func (e In) appendColumns(dst []string) []string    { return append(dst, e.Col) }

@@ -2,6 +2,7 @@ package sel
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -93,6 +94,74 @@ func TestStringRoundTrip(t *testing.T) {
 		if e.String() != e2.String() {
 			t.Errorf("canonical form unstable: %q -> %q", e.String(), e2.String())
 		}
+	}
+}
+
+// TestQuoteEscapeRoundTrip pins the value-level round trip for hostile
+// values: String must emit a form the lexer decodes back to the exact
+// same bytes, including embedded quotes, backslashes, newlines, and
+// non-UTF-8. (The canonical form doubles as a cache key in the cohort
+// caches, so a value must never change across a String→Parse cycle.)
+func TestQuoteEscapeRoundTrip(t *testing.T) {
+	for _, val := range []string{
+		``,
+		`plain`,
+		`has space`,
+		`it's quoted`,
+		`double " quote`,
+		`both "kinds" of 'quotes'`,
+		`back\slash`,
+		`trailing backslash\`,
+		`\" tricky`,
+		"new\nline",
+		"\x00\xff raw bytes",
+	} {
+		e := Eq{Col: "cat", Val: val}
+		back, err := Parse(e.String())
+		if err != nil {
+			t.Errorf("canonical of value %q does not reparse: %v (canonical %q)", val, err, e.String())
+			continue
+		}
+		eq, ok := back.(Eq)
+		if !ok || eq.Val != val {
+			t.Errorf("value %q round-trips to %#v via canonical %q", val, back, e.String())
+		}
+	}
+}
+
+// TestParseEscapes pins the lexer's escape semantics: a backslash inside
+// a quoted string makes the next byte literal.
+func TestParseEscapes(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`cat == "a\"b"`, `a"b`},
+		{`cat == 'a\'b'`, `a'b`},
+		{`cat == "a\\b"`, `a\b`},
+		{`cat == "a\nb"`, `anb`}, // no C escapes: \n is a literal n
+	}
+	for _, c := range cases {
+		e, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if eq, ok := e.(Eq); !ok || eq.Val != c.want {
+			t.Errorf("Parse(%q) value = %#v, want %q", c.in, e, c.want)
+		}
+	}
+}
+
+// TestParseDepthLimit: pathological nesting is rejected, not recursed.
+func TestParseDepthLimit(t *testing.T) {
+	deep := strings.Repeat("(", 1000) + "a == 1" + strings.Repeat(")", 1000)
+	if _, err := Parse(deep); err == nil {
+		t.Error("1000-deep parenthesis nest accepted")
+	}
+	if _, err := Parse(strings.Repeat("not ", 1000) + "a == 1"); err == nil {
+		t.Error("1000-deep not-chain accepted")
+	}
+	ok := strings.Repeat("(", 50) + "a == 1" + strings.Repeat(")", 50)
+	if _, err := Parse(ok); err != nil {
+		t.Errorf("50-deep nest rejected: %v", err)
 	}
 }
 

@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func mustGet(t *testing.T, c *Cache, key, val string) Source {
+	t.Helper()
+	body, src, err := c.GetOrCompute(key, func() ([]byte, error) { return []byte(val), nil })
+	if err != nil {
+		t.Fatalf("GetOrCompute(%q): %v", key, err)
+	}
+	if string(body) != val {
+		t.Fatalf("GetOrCompute(%q) = %q, want %q", key, body, val)
+	}
+	return src
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(8, 1)
+	if src := mustGet(t, c, "a", "va"); src != Miss {
+		t.Errorf("first lookup: %v, want miss", src)
+	}
+	if src := mustGet(t, c, "a", "va"); src != Hit {
+		t.Errorf("second lookup: %v, want hit", src)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+	if st.Bytes != int64(len("va")) {
+		t.Errorf("bytes = %d, want %d", st.Bytes, len("va"))
+	}
+}
+
+// TestCacheLRUEviction pins least-recently-used order: touching an old
+// entry saves it; the untouched one is evicted at capacity.
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2, 1)
+	mustGet(t, c, "a", "va")
+	mustGet(t, c, "b", "vb")
+	mustGet(t, c, "a", "va") // refresh a: b is now the LRU tail
+	mustGet(t, c, "c", "vc") // evicts b
+	if src := mustGet(t, c, "a", "va"); src != Hit {
+		t.Errorf("a should have survived, got %v", src)
+	}
+	if src := mustGet(t, c, "b", "vb"); src != Miss {
+		t.Errorf("b should have been evicted, got %v", src)
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Errorf("stats = %+v, want evictions > 0", st)
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache(8, 2)
+	mustGet(t, c, "a", "va")
+	c.Reset()
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("after Reset: %+v, want empty", st)
+	}
+	if src := mustGet(t, c, "a", "va"); src != Miss {
+		t.Errorf("post-Reset lookup: %v, want miss", src)
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCache(8, 1)
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrCompute("k", func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if src := mustGet(t, c, "k", "ok"); src != Miss {
+		t.Errorf("after failed compute: %v, want miss (errors are not cached)", src)
+	}
+	if src := mustGet(t, c, "k", "ok"); src != Hit {
+		t.Errorf("after successful compute: %v, want hit", src)
+	}
+}
+
+// TestCacheSingleflight pins the stampede contract: N concurrent
+// requests for one cold key run the compute exactly once; everyone gets
+// its bytes.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(8, 4)
+	const n = 32
+	var computes atomic.Int32
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]string, n)
+	sources := make([]Source, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, src, err := c.GetOrCompute("hot", func() ([]byte, error) {
+				computes.Add(1)
+				<-gate // hold the flight open until all goroutines queued
+				return []byte("payload"), nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = string(body)
+			sources[i] = src
+		}(i)
+	}
+	// Let the other goroutines pile onto the in-flight call, then open
+	// the gate. (A short busy-wait via stats keeps this deterministic
+	// enough: the key is that compute runs once regardless.)
+	for c.Stats().Misses == 0 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Errorf("compute ran %d times, want exactly 1", got)
+	}
+	var misses, rest int
+	for i := 0; i < n; i++ {
+		if results[i] != "payload" {
+			t.Fatalf("goroutine %d got %q", i, results[i])
+		}
+		if sources[i] == Miss {
+			misses++
+		} else {
+			rest++
+		}
+	}
+	if misses != 1 {
+		t.Errorf("%d goroutines report miss, want exactly 1 (the computing one)", misses)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Collapsed+st.Hits != n-1 {
+		t.Errorf("stats = %+v, want 1 miss and %d collapsed+hits", st, n-1)
+	}
+}
+
+// TestCacheShardDistribution sanity-checks that keys spread over shards
+// (the per-shard capacity bound only holds if the hash distributes).
+func TestCacheShardDistribution(t *testing.T) {
+	c := NewCache(1024, 16)
+	for i := 0; i < 512; i++ {
+		mustGet(t, c, fmt.Sprintf("key-%d", i), "v")
+	}
+	used := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		if c.shards[i].ll.Len() > 0 {
+			used++
+		}
+		c.shards[i].mu.Unlock()
+	}
+	if used < len(c.shards)/2 {
+		t.Errorf("512 keys landed on only %d/%d shards", used, len(c.shards))
+	}
+}

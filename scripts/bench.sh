@@ -23,9 +23,12 @@
 # internal/dist (speedup metric), the headline fused-vs-legacy suite
 # comparison Benchmark_RunAll_{Legacy,Fused} at the repo root (speedup
 # metric, measured against a median legacy reference pass — DESIGN.md
-# §13), and the cohort-query pushdown comparison
+# §13), the cohort-query pushdown comparison
 # Benchmark_CohortSweep_{Materialize,Where} (speedup metric, measured
-# against a median materialize reference pass — DESIGN.md §14).
+# against a median materialize reference pass — DESIGN.md §14), and the
+# serving-layer cache comparison Benchmark_CohortServe_{Cold,Warm}
+# (speedup metric, measured against a median cold reference pass —
+# DESIGN.md §15; the warm floor is 20×).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -44,7 +47,7 @@ raw="$(go test -bench=. -benchmem -count=1 -run '^$' "${pkgs[@]}")"
 if [[ "${BENCH_FULL:-0}" != "1" ]]; then
   # The full run covers the repo root already; otherwise run just the
   # paired suite and cohort comparisons with a bounded iteration count.
-  raw+=$'\n'"$(go test -bench 'Benchmark_(RunAll_(Legacy|Fused)|CohortSweep_(Materialize|Where))$' -benchmem -benchtime=10x -count=1 -run '^$' .)"
+  raw+=$'\n'"$(go test -bench 'Benchmark_(RunAll_(Legacy|Fused)|CohortSweep_(Materialize|Where)|CohortServe_(Cold|Warm))$' -benchmem -benchtime=10x -count=1 -run '^$' .)"
 fi
 echo "$raw"
 go run ./scripts/benchjson -out "$out" -sha "$sha" <<<"$raw"

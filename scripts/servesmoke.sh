@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# servesmoke.sh — end-to-end smoke test of the mirad serving daemon:
+# build it, boot it on the fast 30-day corpus, poll /healthz until it
+# answers, issue a cohort query twice (cold then cached), check /v1/stats
+# reflects the hit, reject a malformed predicate with 400, and shut the
+# daemon down gracefully with SIGTERM expecting a clean exit.
+#
+# Usage:
+#   scripts/servesmoke.sh [port]       # default port: 18080
+#
+# CI runs this after the unit tests; it exercises the real binary, real
+# sockets and the real signal path, which httptest cannot.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+port="${1:-18080}"
+base="http://127.0.0.1:${port}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "servesmoke: building mirad..."
+go build -o "$tmp/mirad" ./cmd/mirad
+
+echo "servesmoke: booting on :$port (30-day corpus)..."
+"$tmp/mirad" -addr "127.0.0.1:${port}" -small >"$tmp/mirad.log" 2>&1 &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+# Poll /healthz until the daemon is warm (generation + warmup take a few
+# seconds; fail after 60).
+for i in $(seq 1 120); do
+  if curl -sf "$base/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "servesmoke: mirad died during startup:" >&2
+    cat "$tmp/mirad.log" >&2
+    exit 1
+  fi
+  sleep 0.5
+  if [ "$i" -eq 120 ]; then
+    echo "servesmoke: /healthz never came up" >&2
+    cat "$tmp/mirad.log" >&2
+    exit 1
+  fi
+done
+echo "servesmoke: healthy"
+
+where='exit%20!%3D%20success'
+
+code="$(curl -s -o "$tmp/cohort1.json" -w '%{http_code}' "$base/v1/cohort?where=$where")"
+[ "$code" = "200" ] || { echo "servesmoke: cohort query returned $code" >&2; exit 1; }
+grep -q '"report"' "$tmp/cohort1.json" || { echo "servesmoke: cohort body carries no report" >&2; exit 1; }
+
+# Second identical query must be served from the cache, byte-identical.
+xcache="$(curl -s -o "$tmp/cohort2.json" -D - "$base/v1/cohort?where=$where" | tr -d '\r' | awk -F': ' 'tolower($1)=="x-cache"{print $2}')"
+[ "$xcache" = "hit" ] || { echo "servesmoke: repeat query X-Cache=$xcache, want hit" >&2; exit 1; }
+cmp -s "$tmp/cohort1.json" "$tmp/cohort2.json" || { echo "servesmoke: cached body differs from cold body" >&2; exit 1; }
+
+# /v1/stats must reflect the hit.
+curl -sf "$base/v1/stats" >"$tmp/stats.json"
+grep -q '"hits":1' "$tmp/stats.json" || { echo "servesmoke: stats do not show the cache hit:" >&2; cat "$tmp/stats.json" >&2; exit 1; }
+
+# Malformed predicates are the client's fault.
+code="$(curl -s -o /dev/null -w '%{http_code}' "$base/v1/cohort?where=user%20%3D%3D")"
+[ "$code" = "400" ] || { echo "servesmoke: malformed predicate returned $code, want 400" >&2; exit 1; }
+
+# /v1/profile and an experiment round out the surface.
+code="$(curl -s -o /dev/null -w '%{http_code}' "$base/v1/profile")"
+[ "$code" = "200" ] || { echo "servesmoke: profile returned $code" >&2; exit 1; }
+code="$(curl -s -o /dev/null -w '%{http_code}' "$base/v1/experiments/E1")"
+[ "$code" = "200" ] || { echo "servesmoke: E1 returned $code" >&2; exit 1; }
+
+echo "servesmoke: queries OK; sending SIGTERM..."
+kill -TERM "$pid"
+wait "$pid"
+rc=$?
+[ "$rc" -eq 0 ] || { echo "servesmoke: mirad exited $rc after SIGTERM:" >&2; cat "$tmp/mirad.log" >&2; exit 1; }
+trap 'rm -rf "$tmp"' EXIT
+echo "servesmoke: graceful shutdown OK"
